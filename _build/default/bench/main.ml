@@ -1,0 +1,201 @@
+(* Benchmark harness, two halves:
+
+   1. bechamel micro/macro benchmarks — one [Test.make] per paper artifact
+      (Table 1, Figures 1-5, Tables 2-3, each timed on a reduced instance
+      so regression in any reproduction path is visible) plus
+      micro-benchmarks of the hot kernels (executor, cache, k-means,
+      projection, interval collection);
+
+   2. the full-scale reproduction — runs the whole 21-workload suite at
+      the reference input and prints every table and figure of the paper
+      (this is the output EXPERIMENTS.md records). *)
+
+open Bechamel
+open Toolkit
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+module Input = Cbsp_source.Input
+module Config = Cbsp_compiler.Config
+module Lower = Cbsp_compiler.Lower
+module Binary = Cbsp_compiler.Binary
+module Executor = Cbsp_exec.Executor
+module Interval = Cbsp_profile.Interval
+module Structprof = Cbsp_profile.Structprof
+module Kmeans = Cbsp_simpoint.Kmeans
+module Projection = Cbsp_simpoint.Projection
+module Cache = Cbsp_cache.Cache
+module Hierarchy = Cbsp_cache.Hierarchy
+module Pipeline = Cbsp.Pipeline
+module Experiment = Cbsp_report.Experiment
+module Figures = Cbsp_report.Figures
+module Rng = Cbsp_util.Rng
+
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures (built once, outside the timed regions).            *)
+
+let tiny_program =
+  let b = B.create ~name:"bench_tiny" in
+  let arr = B.data_array b ~name:"data" ~elem_bytes:8 ~length:50_000 in
+  B.proc b ~name:"main"
+    [ B.loop b ~trips:(Ast.Fixed 2_000)
+        [ B.work b ~insts:40 ~accesses:[ B.seq ~arr ~count:4 () ] () ] ];
+  B.finish b ~main:"main"
+
+let tiny_binary =
+  Lower.compile tiny_program (Config.v Cbsp_compiler.Isa.X86_32 Config.O2)
+
+let bench_input = Input.make ~name:"bench" ~seed:3 ~scale:2 ()
+
+let small_names = [ "gcc"; "apsi"; "applu" ]
+
+(* All figure benchmarks share one reduced-suite sweep, mirroring how the
+   real harness derives every figure from a single suite run. *)
+let small_suite =
+  lazy (Experiment.run_suite ~names:small_names ~target:50_000 ~input:bench_input ())
+
+let gcc_program =
+  (Cbsp_workloads.Registry.find "gcc").Cbsp_workloads.Registry.build ()
+
+let kmeans_points =
+  let rng = Rng.create ~seed:8 in
+  Array.init 150 (fun _ -> Array.init 15 (fun _ -> Rng.float rng))
+
+let kmeans_weights = Array.make 150 1.0
+
+let projection_fixture =
+  let p = Projection.create ~seed:4 ~in_dim:400 ~out_dim:15 in
+  let rng = Rng.create ~seed:5 in
+  (p, Array.init 400 (fun _ -> Rng.float rng))
+
+(* ------------------------------------------------------------------ *)
+(* Micro benchmarks                                                    *)
+
+let micro_tests =
+  let cache = Cache.create ~capacity_bytes:32_768 ~associativity:2 ~line_bytes:64 () in
+  let hier = Hierarchy.create Hierarchy.paper_table1 in
+  let addr = ref 0 in
+  let rng = Rng.create ~seed:1 in
+  [ Test.make ~name:"rng/next_int64" (Staged.stage (fun () -> Rng.next_int64 rng));
+    Test.make ~name:"cache/l1_access"
+      (Staged.stage (fun () ->
+           addr := (!addr + 4_160) land 0xFFFFF;
+           Cache.access cache ~addr:!addr ~is_write:false));
+    Test.make ~name:"cache/hierarchy_access"
+      (Staged.stage (fun () ->
+           addr := (!addr + 4_160) land 0x3FFFFF;
+           Hierarchy.access hier ~addr:!addr ~is_write:false));
+    Test.make ~name:"exec/tiny_run"
+      (Staged.stage (fun () ->
+           Executor.run tiny_binary bench_input Executor.null_observer));
+    Test.make ~name:"profile/structprof_tiny"
+      (Staged.stage (fun () -> Structprof.profile tiny_binary bench_input));
+    Test.make ~name:"profile/fli_pass_tiny"
+      (Staged.stage (fun () ->
+           let obs, read =
+             Interval.fli_observer ~n_blocks:tiny_binary.Binary.n_blocks
+               ~target:10_000 ()
+           in
+           let (_ : Executor.totals) = Executor.run tiny_binary bench_input obs in
+           read ()));
+    Test.make ~name:"ml/kmeans_k8_150pts"
+      (Staged.stage (fun () ->
+           Kmeans.run ~k:8 ~weights:kmeans_weights ~points:kmeans_points
+             ~restarts:1 ()));
+    Test.make ~name:"ml/projection_400to15"
+      (Staged.stage (fun () ->
+           let p, v = projection_fixture in
+           Projection.apply p v)) ]
+
+(* ------------------------------------------------------------------ *)
+(* One benchmark per paper artifact                                    *)
+
+let artifact_tests =
+  [ Test.make ~name:"table1/render"
+      (Staged.stage (fun () -> Figures.table1 null_ppf));
+    Test.make ~name:"fig1/simpoint_counts"
+      (Staged.stage (fun () -> Figures.figure1 (Lazy.force small_suite) null_ppf));
+    Test.make ~name:"fig2/interval_sizes"
+      (Staged.stage (fun () -> Figures.figure2 (Lazy.force small_suite) null_ppf));
+    Test.make ~name:"fig3/cpi_error"
+      (Staged.stage (fun () -> Figures.figure3 (Lazy.force small_suite) null_ppf));
+    Test.make ~name:"fig4/speedup_same_platform"
+      (Staged.stage (fun () -> Figures.figure4 (Lazy.force small_suite) null_ppf));
+    Test.make ~name:"fig5/speedup_cross_platform"
+      (Staged.stage (fun () -> Figures.figure5 (Lazy.force small_suite) null_ppf));
+    Test.make ~name:"table2/gcc_phases"
+      (Staged.stage (fun () -> Figures.table2 (Lazy.force small_suite) null_ppf));
+    Test.make ~name:"table3/apsi_phases"
+      (Staged.stage (fun () -> Figures.table3 (Lazy.force small_suite) null_ppf));
+    (* the pipelines behind the artifacts, timed end to end on gcc *)
+    Test.make ~name:"pipeline/fli_gcc_small"
+      (Staged.stage (fun () ->
+           Pipeline.run_fli gcc_program ~configs:(Config.paper_four ())
+             ~input:bench_input ~target:50_000));
+    Test.make ~name:"pipeline/vli_gcc_small"
+      (Staged.stage (fun () ->
+           Pipeline.run_vli gcc_program ~configs:(Config.paper_four ())
+             ~input:bench_input ~target:50_000)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+
+let run_benchmarks tests ~quota_s =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~kde:None
+      ~stabilize:false ()
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let result = Benchmark.run cfg instances elt in
+          Hashtbl.replace tbl (Test.Elt.name elt) result)
+        (Test.elements test))
+    tests;
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock tbl in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | Some [] | None -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+      in
+      rows := (name, ns, r2) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
+  Fmt.pr "  %-32s %14s %8s@." "benchmark" "time/run" "r2";
+  let pretty ns =
+    if ns > 1e9 then Fmt.str "%8.3f s " (ns /. 1e9)
+    else if ns > 1e6 then Fmt.str "%8.3f ms" (ns /. 1e6)
+    else if ns > 1e3 then Fmt.str "%8.3f us" (ns /. 1e3)
+    else Fmt.str "%8.1f ns" ns
+  in
+  List.iter
+    (fun (name, ns, r2) -> Fmt.pr "  %-32s %14s %8.3f@." name (pretty ns) r2)
+    rows
+
+let () =
+  Fmt.pr "=== Micro benchmarks (kernels) ===@.";
+  run_benchmarks micro_tests ~quota_s:0.25;
+  Fmt.pr "@.=== Paper-artifact benchmarks (reduced instances: %s) ===@."
+    (String.concat ", " small_names);
+  run_benchmarks artifact_tests ~quota_s:0.25;
+  Fmt.pr "@.=== Full-scale reproduction (21 workloads, reference input) ===@.";
+  let t0 = Unix.gettimeofday () in
+  let suite =
+    Experiment.run_suite ~progress:(fun n -> Fmt.epr "running %s...@." n) ()
+  in
+  Figures.all suite Format.std_formatter;
+  Fmt.pr "@.(full suite regenerated in %.1f s)@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+bin/calibrate.ml: Cbsp Cbsp_cache Cbsp_compiler Cbsp_exec Cbsp_profile Cbsp_source Cbsp_workloads List Printf Unix

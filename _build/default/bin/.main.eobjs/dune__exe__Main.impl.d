@@ -1,0 +1,1 @@
+bin/main.ml: Arg Array Cbsp Cbsp_compiler Cbsp_exec Cbsp_profile Cbsp_report Cbsp_simpoint Cbsp_source Cbsp_workloads Cmd Cmdliner Fmt Format List Printf String Term

@@ -1,0 +1,39 @@
+(* Development tool: prints per-workload, per-binary run sizes, marker
+   density and mappable-set statistics, used to calibrate workload scales
+   against the experiment budget.  Not part of the public CLI. *)
+
+let () =
+  let input = Cbsp_source.Input.ref_input in
+  Printf.printf "%-10s %-4s %10s %9s %9s %8s %8s\n" "prog" "cfg" "insts"
+    "blocks" "accesses" "markers" "time_s";
+  List.iter
+    (fun (e : Cbsp_workloads.Registry.entry) ->
+      let program = e.build () in
+      let configs =
+        Cbsp_compiler.Config.paper_four ~loop_splitting:e.loop_splitting ()
+      in
+      let binaries = List.map (Cbsp_compiler.Lower.compile program) configs in
+      let profiles = ref [] in
+      List.iter
+        (fun (binary : Cbsp_compiler.Binary.t) ->
+          let t0 = Unix.gettimeofday () in
+          let obs, read = Cbsp_profile.Structprof.observer () in
+          let cpu = Cbsp_cache.Cpu.create () in
+          let totals =
+            Cbsp_exec.Executor.run binary input
+              (Cbsp_exec.Executor.compose [ obs; Cbsp_cache.Cpu.observer cpu ])
+          in
+          let t1 = Unix.gettimeofday () in
+          profiles := read () :: !profiles;
+          Printf.printf "%-10s %-4s %10d %9d %9d %8d %8.2f  cpi=%.2f\n" e.name
+            (Cbsp_compiler.Config.label binary.Cbsp_compiler.Binary.config)
+            totals.Cbsp_exec.Executor.insts totals.Cbsp_exec.Executor.blocks
+            totals.Cbsp_exec.Executor.accesses totals.Cbsp_exec.Executor.markers
+            (t1 -. t0) (Cbsp_cache.Cpu.cpi cpu))
+        binaries;
+      let mappable =
+        Cbsp.Matching.find ~binaries ~profiles:(List.rev !profiles) ()
+      in
+      Printf.printf "%-10s mappable keys: %d of %d candidates\n%!" e.name
+        (Cbsp.Matching.cardinal mappable) mappable.Cbsp.Matching.candidates)
+    Cbsp_workloads.Registry.all

@@ -1,0 +1,534 @@
+(* cbsp: command-line front end for the Cross Binary SimPoint
+   reproduction.  Subcommands cover workload inspection, single-workload
+   pipeline runs, the paper's figures/tables, and the ablation studies. *)
+
+module Pipeline = Cbsp.Pipeline
+module Metrics = Cbsp.Metrics
+module Registry = Cbsp_workloads.Registry
+module Config = Cbsp_compiler.Config
+module Simpoint = Cbsp_simpoint.Simpoint
+module Experiment = Cbsp_report.Experiment
+module Figures = Cbsp_report.Figures
+module Ablation = Cbsp_report.Ablation
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+
+let workloads_arg =
+  let doc = "Workloads to run (default: the whole suite)." in
+  Arg.(value & opt (some (list string)) None & info [ "w"; "workloads" ] ~doc)
+
+let target_arg =
+  let doc = "Interval target size in instructions (stands for the paper's 100M)." in
+  Arg.(value & opt int Pipeline.default_target & info [ "t"; "target" ] ~doc)
+
+let scale_arg =
+  let doc = "Input scale (sizes the runs; the reference input uses 10)." in
+  Arg.(value & opt int 10 & info [ "scale" ] ~doc)
+
+let seed_arg =
+  let doc = "Input seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let max_k_arg =
+  let doc = "SimPoint's maximum number of clusters (paper: 10)." in
+  Arg.(value & opt int 10 & info [ "max-k" ] ~doc)
+
+let primary_arg =
+  let doc = "Primary binary index for mappable SimPoint (0=32u 1=32o 2=64u 3=64o)." in
+  Arg.(value & opt int 0 & info [ "primary" ] ~doc)
+
+let rep_arg =
+  let doc =
+    "Representative policy: 'centroid' (SimPoint default) or 'early[:TOL]' \
+     (earliest near-optimal interval, PACT'03)."
+  in
+  Arg.(value & opt string "centroid" & info [ "rep" ] ~doc)
+
+let search_arg =
+  let doc = "k search strategy: 'all' (every k) or 'binary' (SimPoint 3.0)." in
+  Arg.(value & opt string "all" & info [ "k-search" ] ~doc)
+
+let input_of ~scale ~seed =
+  Cbsp_source.Input.make ~name:(Printf.sprintf "scale%d" scale) ~seed ~scale ()
+
+let rep_policy_of = function
+  | "centroid" -> Simpoint.Centroid
+  | "early" -> Simpoint.Early 0.1
+  | s -> begin
+    match String.split_on_char ':' s with
+    | [ "early"; tol ] -> begin
+      match float_of_string_opt tol with
+      | Some tol when tol >= 0.0 -> Simpoint.Early tol
+      | _ ->
+        Fmt.epr "bad --rep %S@." s;
+        exit 2
+    end
+    | _ ->
+      Fmt.epr "bad --rep %S@." s;
+      exit 2
+  end
+
+let k_search_of = function
+  | "all" -> Simpoint.All_k
+  | "binary" -> Simpoint.Binary_search
+  | s ->
+    Fmt.epr "bad --k-search %S@." s;
+    exit 2
+
+let sp_config_of ?(rep = "centroid") ?(search = "all") ~max_k () =
+  { Simpoint.default_config with
+    Simpoint.max_k; rep_policy = rep_policy_of rep;
+    k_search = k_search_of search }
+
+let workload_names = function
+  | None -> Registry.names
+  | Some names ->
+    List.iter
+      (fun n ->
+        if not (List.mem n Registry.names) then begin
+          Fmt.epr "unknown workload %S; try `cbsp list`@." n;
+          exit 2
+        end)
+      names;
+    names
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Registry.entry) ->
+        Fmt.pr "%-10s %s%s@." e.Registry.name e.Registry.description
+          (if e.Registry.loop_splitting then "  [loop-splitting at O2]" else ""))
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* show                                                                *)
+
+let show_cmd =
+  let run name =
+    let entry = Registry.find name in
+    let program = entry.Registry.build () in
+    Cbsp_source.Ast.pp_program ppf program;
+    Fmt.pr "@.Binaries:@.";
+    List.iter
+      (fun config ->
+        let binary = Cbsp_compiler.Lower.compile program config in
+        Fmt.pr "  %a@." Cbsp_compiler.Binary.pp_summary binary)
+      (Config.paper_four ~loop_splitting:entry.Registry.loop_splitting ())
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a workload's source and binary summaries")
+    Term.(const run $ name_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+
+let profile_cmd =
+  let run name scale seed =
+    let entry = Registry.find name in
+    let program = entry.Registry.build () in
+    let input = input_of ~scale ~seed in
+    let configs =
+      Config.paper_four ~loop_splitting:entry.Registry.loop_splitting ()
+    in
+    let binaries = List.map (Cbsp_compiler.Lower.compile program) configs in
+    let profiles =
+      List.map (fun b -> Cbsp_profile.Structprof.profile b input) binaries
+    in
+    List.iter2
+      (fun (b : Cbsp_compiler.Binary.t) p ->
+        Fmt.pr "--- %s: %d marker keys@." (Config.label b.Cbsp_compiler.Binary.config)
+          (List.length (Cbsp_profile.Structprof.keys p)))
+      binaries profiles;
+    let mappable = Cbsp.Matching.find ~binaries ~profiles () in
+    Fmt.pr "@.Mappable points:@.%a" Cbsp.Matching.pp mappable
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile a workload's four binaries and show the mappable points")
+    Term.(const run $ name_arg $ scale_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+
+let print_binary_result label (r : Pipeline.binary_result) =
+  Fmt.pr
+    "  %s %-4s  insts=%9d  true_cpi=%5.2f  est_cpi=%5.2f  cpi_err=%6.2f%%  \
+     k=%2d  intervals=%4d  avg_interval=%8.0f@."
+    label
+    (Config.label r.Pipeline.br_config)
+    r.Pipeline.br_truth.Pipeline.t_insts r.Pipeline.br_truth.Pipeline.t_cpi
+    r.Pipeline.br_est_cpi
+    (100.0 *. r.Pipeline.br_cpi_error)
+    r.Pipeline.br_n_points r.Pipeline.br_n_intervals r.Pipeline.br_avg_interval
+
+let print_speedups fli_binaries vli_binaries =
+  let pairs =
+    Experiment.paper_pairs_same_platform @ Experiment.paper_pairs_cross_platform
+  in
+  List.iter
+    (fun (a, b) ->
+      let ra = Pipeline.find_binary fli_binaries ~label:a in
+      let rb = Pipeline.find_binary fli_binaries ~label:b in
+      Fmt.pr "  speedup %s->%s  true=%5.2f  fli_err=%6.2f%%  vli_err=%6.2f%%@." a b
+        (Metrics.true_speedup ra rb)
+        (100.0 *. Metrics.pair_error fli_binaries ~a ~b)
+        (100.0 *. Metrics.pair_error vli_binaries ~a ~b))
+    pairs
+
+let print_metrics label (r : Pipeline.binary_result) =
+  Array.iter
+    (fun (m : Pipeline.metric) ->
+      Fmt.pr "  %s %-4s  %-18s true=%8.3f/ki  est=%8.3f/ki@." label
+        (Config.label r.Pipeline.br_config)
+        m.Pipeline.m_name m.Pipeline.m_true_pki m.Pipeline.m_est_pki)
+    r.Pipeline.br_metrics
+
+let run_cmd =
+  let run name target scale seed max_k primary rep search metrics =
+    let entry = Registry.find name in
+    let program = entry.Registry.build () in
+    let input = input_of ~scale ~seed in
+    let sp_config = sp_config_of ~rep ~search ~max_k () in
+    let configs =
+      Config.paper_four ~loop_splitting:entry.Registry.loop_splitting ()
+    in
+    let fli = Pipeline.run_fli ~sp_config program ~configs ~input ~target in
+    let vli =
+      Pipeline.run_vli ~sp_config ~primary program ~configs ~input ~target
+    in
+    Fmt.pr "== %s (target=%d, scale=%d)@." name target scale;
+    Fmt.pr "mappable keys: %d of %d candidates; %d VLI boundaries@."
+      (Cbsp.Matching.cardinal vli.Pipeline.vli_mappable)
+      vli.Pipeline.vli_mappable.Cbsp.Matching.candidates
+      vli.Pipeline.vli_n_boundaries;
+    List.iter (print_binary_result "fli") fli.Pipeline.fli_binaries;
+    List.iter (print_binary_result "vli") vli.Pipeline.vli_binaries;
+    print_speedups fli.Pipeline.fli_binaries vli.Pipeline.vli_binaries;
+    if metrics then begin
+      Fmt.pr "@.Extra metrics (events per 1000 instructions):@.";
+      List.iter (print_metrics "vli") vli.Pipeline.vli_binaries
+    end
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let metrics_arg =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Also print cache-miss metrics.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run both SimPoint methods on one workload and compare them")
+    Term.(const run $ name_arg $ target_arg $ scale_arg $ seed_arg $ max_k_arg
+          $ primary_arg $ rep_arg $ search_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_cmd =
+  let what_arg =
+    let doc =
+      "What to regenerate: table1, fig1, fig2, fig3, fig4, fig5, table2, \
+       table3, metrics, summary or all."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"WHAT" ~doc)
+  in
+  let csv_arg =
+    let doc = "Also write the figure data as CSV files into this directory." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~doc)
+  in
+  let run what workloads target scale seed max_k primary csv =
+    let names = workload_names workloads in
+    if what = "table1" then Figures.table1 ppf
+    else begin
+      let names =
+        (* Tables 2 and 3 need their specific workloads present. *)
+        match what with
+        | "table2" when not (List.mem "gcc" names) -> "gcc" :: names
+        | "table3" when not (List.mem "apsi" names) -> "apsi" :: names
+        | _ -> names
+      in
+      let t =
+        Experiment.run_suite ~names ~target ~input:(input_of ~scale ~seed)
+          ~sp_config:(sp_config_of ~max_k ()) ~primary
+          ~progress:(fun n -> Fmt.epr "running %s...@." n)
+          ()
+      in
+      (match what with
+       | "fig1" -> Figures.figure1 t ppf
+       | "fig2" -> Figures.figure2 t ppf
+       | "fig3" -> Figures.figure3 t ppf
+       | "fig4" -> Figures.figure4 t ppf
+       | "fig5" -> Figures.figure5 t ppf
+       | "table2" -> Figures.table2 t ppf
+       | "table3" -> Figures.table3 t ppf
+       | "metrics" -> Figures.metrics_report t ppf
+       | "summary" -> Figures.summary t ppf
+       | "all" -> Figures.all t ppf
+       | other ->
+         Fmt.epr "unknown experiment %S@." other;
+         exit 2);
+      match csv with
+      | None -> ()
+      | Some dir ->
+        Cbsp_report.Csv.save_all t ~dir;
+        Fmt.epr "wrote CSV data to %s/@." dir
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate the paper's tables and figures (Section 5)")
+    Term.(
+      const run $ what_arg $ workloads_arg $ target_arg $ scale_arg $ seed_arg
+      $ max_k_arg $ primary_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ablation                                                            *)
+
+let ablation_cmd =
+  let what_arg =
+    let doc =
+      "Study: primary, markers, target, maxk, inline, rep, ksearch or all."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"STUDY" ~doc)
+  in
+  let run what workloads =
+    let names =
+      match workloads with None -> Ablation.default_names | Some ns -> ns
+    in
+    let studies =
+      match what with
+      | "primary" -> [ Ablation.primary_choice ~names () ]
+      | "rep" -> [ Ablation.rep_policy ~names () ]
+      | "ksearch" -> [ Ablation.k_search ~names () ]
+      | "markers" -> [ Ablation.marker_kinds ~names () ]
+      | "target" -> [ Ablation.interval_target ~names () ]
+      | "maxk" -> [ Ablation.max_k ~names () ]
+      | "inline" -> [ Ablation.inline_recovery ~names () ]
+      | "all" ->
+        [ Ablation.primary_choice ~names (); Ablation.marker_kinds ~names ();
+          Ablation.interval_target ~names (); Ablation.max_k ~names ();
+          Ablation.inline_recovery ~names (); Ablation.rep_policy ~names ();
+          Ablation.k_search ~names () ]
+      | other ->
+        Fmt.epr "unknown study %S@." other;
+        exit 2
+    in
+    List.iter
+      (fun s ->
+        Ablation.render s ppf;
+        Fmt.pr "@.")
+      studies
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run the design-choice ablation studies")
+    Term.(const run $ what_arg $ workloads_arg)
+
+(* ------------------------------------------------------------------ *)
+(* phases                                                              *)
+
+let phases_cmd =
+  let run name target scale seed max_k =
+    let entry = Registry.find name in
+    let program = entry.Registry.build () in
+    let input = input_of ~scale ~seed in
+    let configs =
+      Config.paper_four ~loop_splitting:entry.Registry.loop_splitting ()
+    in
+    let vli =
+      Pipeline.run_vli ~sp_config:(sp_config_of ~max_k ()) program ~configs
+        ~input ~target
+    in
+    let primary = List.nth vli.Pipeline.vli_binaries vli.Pipeline.vli_primary in
+    Fmt.pr "%s: %d variable-length intervals, %d phases (primary %s)@.@." name
+      (Array.length vli.Pipeline.vli_points.Pipeline.pt_phase_of)
+      primary.Pipeline.br_n_points
+      (Config.label primary.Pipeline.br_config);
+    Cbsp_report.Timeline.render
+      ~phase_of:vli.Pipeline.vli_points.Pipeline.pt_phase_of ppf;
+    Fmt.pr "@.";
+    Cbsp_report.Timeline.render_legend ~phases:primary.Pipeline.br_phases ppf
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  Cmd.v
+    (Cmd.info "phases"
+       ~doc:"Show a workload's phase timeline under mappable SimPoint")
+    Term.(const run $ name_arg $ target_arg $ scale_arg $ seed_arg $ max_k_arg)
+
+(* ------------------------------------------------------------------ *)
+(* points: save / replay (the PinPoints workflow)                      *)
+
+let points_save_cmd =
+  let run name out target scale seed max_k =
+    let entry = Registry.find name in
+    let program = entry.Registry.build () in
+    let input = input_of ~scale ~seed in
+    let configs =
+      Config.paper_four ~loop_splitting:entry.Registry.loop_splitting ()
+    in
+    let vli =
+      Pipeline.run_vli ~sp_config:(sp_config_of ~max_k ()) program ~configs
+        ~input ~target
+    in
+    Cbsp.Points_file.save ~path:out ~program:name ~input vli.Pipeline.vli_points;
+    Fmt.pr "wrote %d boundaries, %d points to %s@."
+      (Array.length vli.Pipeline.vli_points.Pipeline.pt_boundaries)
+      (Array.length vli.Pipeline.vli_points.Pipeline.pt_reps)
+      out
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let out_arg =
+    Arg.(value & opt string "points.cbsp" & info [ "o"; "output" ]
+           ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Choose mappable simulation points and write them to a file")
+    Term.(const run $ name_arg $ out_arg $ target_arg $ scale_arg $ seed_arg
+          $ max_k_arg)
+
+let points_replay_cmd =
+  let run file label =
+    let header, points = Cbsp.Points_file.load ~path:file in
+    let entry = Registry.find header.Cbsp.Points_file.h_program in
+    let program = entry.Registry.build () in
+    let input =
+      Cbsp_source.Input.make ~name:header.Cbsp.Points_file.h_input_name
+        ~scale:header.Cbsp.Points_file.h_scale
+        ~seed:header.Cbsp.Points_file.h_seed ()
+    in
+    let config =
+      match
+        List.find_opt
+          (fun c -> Config.label c = label)
+          (Config.paper_four ~loop_splitting:entry.Registry.loop_splitting ())
+      with
+      | Some c -> c
+      | None ->
+        Fmt.epr "unknown configuration %S (32u/32o/64u/64o)@." label;
+        exit 2
+    in
+    let binary = Cbsp_compiler.Lower.compile program config in
+    let r = Pipeline.replay binary ~input points in
+    Fmt.pr "replayed %s points on %s/%s:@." file
+      header.Cbsp.Points_file.h_program label;
+    print_binary_result "   " r;
+    print_metrics "   " r
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"POINTS_FILE")
+  in
+  let config_arg =
+    Arg.(value & opt string "64o" & info [ "c"; "config" ]
+           ~doc:"Binary to measure (32u/32o/64u/64o).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Measure a binary against simulation points from a file")
+    Term.(const run $ file_arg $ config_arg)
+
+let points_cmd =
+  Cmd.group
+    (Cmd.info "points"
+       ~doc:"Write and consume simulation-point files (the PinPoints workflow)")
+    [ points_save_cmd; points_replay_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* dump-bbv / trace: the offline tooling                               *)
+
+let binary_of_label entry label =
+  let program = entry.Registry.build () in
+  match
+    List.find_opt
+      (fun c -> Config.label c = label)
+      (Config.paper_four ~loop_splitting:entry.Registry.loop_splitting ())
+  with
+  | Some config -> Cbsp_compiler.Lower.compile program config
+  | None ->
+    Fmt.epr "unknown configuration %S (32u/32o/64u/64o)@." label;
+    exit 2
+
+let config_arg =
+  Arg.(value & opt string "32u" & info [ "c"; "config" ]
+         ~doc:"Binary to use (32u/32o/64u/64o).")
+
+let dump_bbv_cmd =
+  let run name label out target scale seed =
+    let entry = Registry.find name in
+    let binary = binary_of_label entry label in
+    let input = input_of ~scale ~seed in
+    let iobs, read =
+      Cbsp_profile.Interval.fli_observer
+        ~n_blocks:binary.Cbsp_compiler.Binary.n_blocks ~target ()
+    in
+    let (_ : Cbsp_exec.Executor.totals) =
+      Cbsp_exec.Executor.run binary input iobs
+    in
+    let intervals = read () in
+    Cbsp_profile.Bbv_file.save ~path:out intervals;
+    Fmt.pr "wrote %d frequency vectors (dim %d) to %s@."
+      (Array.length intervals) binary.Cbsp_compiler.Binary.n_blocks out
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let out_arg =
+    Arg.(value & opt string "out.bb" & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "dump-bbv"
+       ~doc:"Write basic block vectors in SimPoint's frequency-vector format")
+    Term.(const run $ name_arg $ config_arg $ out_arg $ target_arg $ scale_arg
+          $ seed_arg)
+
+let trace_cmd =
+  let run name label out scale seed =
+    let entry = Registry.find name in
+    let binary = binary_of_label entry label in
+    let input = input_of ~scale ~seed in
+    let totals = Cbsp_exec.Trace.record ~path:out binary input in
+    Fmt.pr "traced %d instructions (%d blocks, %d accesses, %d markers) to %s@."
+      totals.Cbsp_exec.Executor.insts totals.Cbsp_exec.Executor.blocks
+      totals.Cbsp_exec.Executor.accesses totals.Cbsp_exec.Executor.markers out
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let out_arg =
+    Arg.(value & opt string "out.trace" & info [ "o"; "output" ]
+           ~doc:"Output file (text; large for big inputs).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Record one execution as an event trace for offline analysis")
+    Term.(const run $ name_arg $ config_arg $ out_arg $ scale_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "Cross Binary Simulation Points (ISPASS 2007) reproduction" in
+  Cmd.group
+    (Cmd.info "cbsp" ~version:"1.0.0" ~doc)
+    [ list_cmd; show_cmd; profile_cmd; run_cmd; experiment_cmd; ablation_cmd;
+      phases_cmd; points_cmd; dump_bbv_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

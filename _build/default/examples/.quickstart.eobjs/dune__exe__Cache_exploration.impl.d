@@ -1,0 +1,1 @@
+examples/cache_exploration.ml: Cbsp Cbsp_cache Cbsp_compiler Cbsp_source Cbsp_workloads Fmt List

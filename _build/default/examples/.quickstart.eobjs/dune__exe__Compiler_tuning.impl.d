@@ -1,0 +1,1 @@
+examples/compiler_tuning.ml: Cbsp Cbsp_compiler Cbsp_source Cbsp_workloads Fmt List

@@ -1,0 +1,1 @@
+examples/compiler_tuning.mli:

@@ -1,0 +1,1 @@
+examples/isa_comparison.ml: Cbsp Cbsp_compiler Cbsp_source Cbsp_workloads Fmt List

@@ -1,0 +1,1 @@
+examples/isa_comparison.mli:

@@ -1,0 +1,1 @@
+examples/points_workflow.ml: Array Cbsp Cbsp_cache Cbsp_compiler Cbsp_source Cbsp_workloads Filename Fmt List Sys

@@ -1,0 +1,1 @@
+examples/points_workflow.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cbsp Cbsp_compiler Cbsp_source Fmt List

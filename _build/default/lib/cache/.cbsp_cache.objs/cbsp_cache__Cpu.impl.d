@@ -1,0 +1,1 @@
+lib/cache/cpu.ml: Array Cache Cbsp_exec Hierarchy List

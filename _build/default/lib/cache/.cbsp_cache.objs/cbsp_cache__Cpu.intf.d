@@ -1,0 +1,1 @@
+lib/cache/cpu.mli: Cbsp_exec Hierarchy

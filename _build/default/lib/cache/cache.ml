@@ -1,0 +1,138 @@
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+}
+
+type replacement = Lru | Fifo | Random of int
+
+type t = {
+  replacement : replacement;
+  rng : Cbsp_util.Rng.t;
+  n_sets : int;
+  assoc : int;
+  line : int;
+  set_shift : int;   (* log2 line *)
+  set_mask : int;    (* n_sets - 1 *)
+  tags : int array;       (* n_sets * assoc; -1 = invalid *)
+  dirty : bool array;
+  last_use : int array;   (* LRU stamps (fill stamps under FIFO) *)
+  mutable clock : int;
+  mutable s_accesses : int;
+  mutable s_hits : int;
+  mutable s_evictions : int;
+  mutable s_writebacks : int;
+}
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let log2 x =
+  let rec go acc x = if x <= 1 then acc else go (acc + 1) (x lsr 1) in
+  go 0 x
+
+let create ?(replacement = Lru) ~capacity_bytes ~associativity ~line_bytes () =
+  if capacity_bytes <= 0 || associativity <= 0 || line_bytes <= 0 then
+    invalid_arg "Cache.create: non-positive parameter";
+  if not (is_pow2 line_bytes) then invalid_arg "Cache.create: line size not a power of two";
+  if capacity_bytes mod (associativity * line_bytes) <> 0 then
+    invalid_arg "Cache.create: capacity not divisible by way size";
+  let n_sets = capacity_bytes / (associativity * line_bytes) in
+  if not (is_pow2 n_sets) then invalid_arg "Cache.create: set count not a power of two";
+  let slots = n_sets * associativity in
+  let seed = match replacement with Random seed -> seed | Lru | Fifo -> 0 in
+  { replacement; rng = Cbsp_util.Rng.create ~seed;
+    n_sets; assoc = associativity; line = line_bytes;
+    set_shift = log2 line_bytes; set_mask = n_sets - 1;
+    tags = Array.make slots (-1); dirty = Array.make slots false;
+    last_use = Array.make slots 0; clock = 0; s_accesses = 0; s_hits = 0;
+    s_evictions = 0; s_writebacks = 0 }
+
+let locate t ~addr =
+  let block = addr lsr t.set_shift in
+  let set = block land t.set_mask in
+  (block, set * t.assoc)
+
+let find_way t ~base ~tag =
+  let rec scan i =
+    if i >= t.assoc then -1
+    else if t.tags.(base + i) = tag then i
+    else scan (i + 1)
+  in
+  scan 0
+
+(* Victim selection.  An invalid way is always preferred; otherwise LRU
+   picks the oldest use-stamp, FIFO the oldest fill-stamp (use-stamps are
+   simply not refreshed on hits under FIFO), and Random draws from the
+   cache's own deterministic stream. *)
+let victim_way t ~base =
+  let invalid = ref (-1) in
+  for i = t.assoc - 1 downto 0 do
+    if t.tags.(base + i) = -1 then invalid := i
+  done;
+  if !invalid >= 0 then !invalid
+  else
+    match t.replacement with
+    | Lru | Fifo ->
+      let best = ref 0 and best_stamp = ref max_int in
+      for i = 0 to t.assoc - 1 do
+        if t.last_use.(base + i) < !best_stamp then begin
+          best := i;
+          best_stamp := t.last_use.(base + i)
+        end
+      done;
+      !best
+    | Random _ -> Cbsp_util.Rng.int t.rng ~bound:t.assoc
+
+let access t ~addr ~is_write =
+  t.s_accesses <- t.s_accesses + 1;
+  t.clock <- t.clock + 1;
+  let tag, base = locate t ~addr in
+  let way = find_way t ~base ~tag in
+  if way >= 0 then begin
+    t.s_hits <- t.s_hits + 1;
+    (match t.replacement with
+     | Lru -> t.last_use.(base + way) <- t.clock
+     | Fifo | Random _ -> ());
+    if is_write then t.dirty.(base + way) <- true;
+    true
+  end
+  else begin
+    let victim = victim_way t ~base in
+    let slot = base + victim in
+    if t.tags.(slot) <> -1 then begin
+      t.s_evictions <- t.s_evictions + 1;
+      if t.dirty.(slot) then t.s_writebacks <- t.s_writebacks + 1
+    end;
+    t.tags.(slot) <- tag;
+    t.dirty.(slot) <- is_write;
+    t.last_use.(slot) <- t.clock;
+    false
+  end
+
+let probe t ~addr =
+  let tag, base = locate t ~addr in
+  find_way t ~base ~tag >= 0
+
+let stats t =
+  { accesses = t.s_accesses; hits = t.s_hits; misses = t.s_accesses - t.s_hits;
+    evictions = t.s_evictions; writebacks = t.s_writebacks }
+
+let reset_stats t =
+  t.s_accesses <- 0;
+  t.s_hits <- 0;
+  t.s_evictions <- 0;
+  t.s_writebacks <- 0
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.last_use 0 (Array.length t.last_use) 0;
+  t.clock <- 0;
+  reset_stats t
+
+let sets t = t.n_sets
+let associativity t = t.assoc
+let line_bytes t = t.line
+let replacement t = t.replacement

@@ -1,0 +1,51 @@
+(** One set-associative cache level with write-back / write-allocate
+    policy — the building block of the CMP$im-style hierarchy (paper
+    Table 1).  The paper uses LRU everywhere; FIFO and (seeded,
+    deterministic) random replacement are provided for design-space
+    studies. *)
+
+type replacement = Lru | Fifo | Random of int  (** Random takes a seed. *)
+
+type t
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;  (** Dirty lines evicted. *)
+}
+
+val create :
+  ?replacement:replacement ->
+  capacity_bytes:int ->
+  associativity:int ->
+  line_bytes:int ->
+  unit ->
+  t
+(** Defaults to {!Lru}.
+    @raise Invalid_argument unless capacity, associativity and line size
+    are positive, line size and the set count are powers of two, and
+    capacity = sets * associativity * line size for an integral set
+    count. *)
+
+val access : t -> addr:int -> is_write:bool -> bool
+(** Look up the line containing [addr]; on a miss, allocate it (evicting
+    LRU).  Returns whether it hit.  Write hits and allocated writes mark
+    the line dirty. *)
+
+val probe : t -> addr:int -> bool
+(** Non-modifying lookup (no allocation, no LRU update). *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Clears counters, keeps contents (for measure-after-warmup flows). *)
+
+val flush : t -> unit
+(** Invalidate all lines and clear counters. *)
+
+val sets : t -> int
+val associativity : t -> int
+val line_bytes : t -> int
+val replacement : t -> replacement

@@ -1,0 +1,39 @@
+(** In-order CPI model over the cache hierarchy — our CMP$im.
+
+    CMP$im models an in-order core: every instruction retires in one base
+    cycle, and every data access stalls the pipeline for the latency of
+    the level it hits.  CPI is therefore
+    [1.0 + stall_cycles / instructions], which reproduces the paper's
+    per-phase CPI range (roughly 2.5-7.6 in Tables 2-3) for workloads
+    whose footprints straddle the hierarchy. *)
+
+type t
+
+val create : ?config:Hierarchy.config -> unit -> t
+(** Defaults to {!Hierarchy.paper_table1}. *)
+
+val observer : t -> Cbsp_exec.Executor.observer
+(** Plug into an executor run: blocks advance base cycles, accesses add
+    stall cycles. *)
+
+val cycles : t -> float
+(** Total simulated cycles so far — monotone during a run, suitable as
+    the [cycles] thunk of interval builders. *)
+
+val insts : t -> int
+
+val cpi : t -> float
+(** @raise Invalid_argument before any instruction has executed. *)
+
+val hierarchy : t -> Hierarchy.t
+
+val extra_counter_names : t -> string list
+(** Labels of {!extra_counters}, in order: one ["<level>_misses"] per
+    hierarchy level, then ["dram_accesses"] and ["accesses"]. *)
+
+val extra_counters : t -> float array
+(** Monotone counter snapshot (suitable as the [extras] thunk of interval
+    builders): per-level misses, DRAM accesses, total accesses. *)
+
+val reset : t -> unit
+(** Flush caches and zero counters. *)

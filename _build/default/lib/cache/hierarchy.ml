@@ -1,0 +1,79 @@
+type level_config = {
+  lv_name : string;
+  lv_capacity : int;
+  lv_assoc : int;
+  lv_line : int;
+  lv_latency : int;
+  lv_replacement : Cache.replacement;
+}
+
+type config = { levels : level_config list; dram_latency : int }
+
+let paper_table1 =
+  { levels =
+      [ { lv_name = "FLC(L1D)"; lv_capacity = 32 * 1024; lv_assoc = 2;
+          lv_line = 64; lv_latency = 3; lv_replacement = Cache.Lru };
+        { lv_name = "MLC(L2D)"; lv_capacity = 512 * 1024; lv_assoc = 8;
+          lv_line = 64; lv_latency = 14; lv_replacement = Cache.Lru };
+        { lv_name = "LLC(L3D)"; lv_capacity = 1024 * 1024; lv_assoc = 16;
+          lv_line = 64; lv_latency = 35; lv_replacement = Cache.Lru } ];
+    dram_latency = 250 }
+
+let scaled_config ~factor =
+  if factor <= 0 then invalid_arg "Hierarchy.scaled_config: bad factor";
+  { paper_table1 with
+    levels =
+      List.map
+        (fun l -> { l with lv_capacity = l.lv_capacity / factor })
+        paper_table1.levels }
+
+type t = {
+  cfg : config;
+  caches : (Cache.t * int) array;  (* cache, hit latency *)
+  names : string array;
+  mutable dram : int;
+}
+
+let create cfg =
+  let caches =
+    List.map
+      (fun l ->
+        ( Cache.create ~replacement:l.lv_replacement
+            ~capacity_bytes:l.lv_capacity ~associativity:l.lv_assoc
+            ~line_bytes:l.lv_line (),
+          l.lv_latency ))
+      cfg.levels
+    |> Array.of_list
+  in
+  let names = Array.of_list (List.map (fun l -> l.lv_name) cfg.levels) in
+  { cfg; caches; names; dram = 0 }
+
+let access t ~addr ~is_write =
+  let n = Array.length t.caches in
+  let rec go i =
+    if i >= n then begin
+      t.dram <- t.dram + 1;
+      t.cfg.dram_latency
+    end
+    else begin
+      let cache, latency = t.caches.(i) in
+      if Cache.access cache ~addr ~is_write then latency else go (i + 1)
+    end
+  in
+  go 0
+
+type level_stats = { ls_name : string; ls_stats : Cache.stats }
+
+let stats t =
+  Array.to_list
+    (Array.mapi
+       (fun i (cache, _) -> { ls_name = t.names.(i); ls_stats = Cache.stats cache })
+       t.caches)
+
+let dram_accesses t = t.dram
+
+let flush t =
+  Array.iter (fun (cache, _) -> Cache.flush cache) t.caches;
+  t.dram <- 0
+
+let config t = t.cfg

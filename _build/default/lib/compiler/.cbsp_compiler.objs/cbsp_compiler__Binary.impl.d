@@ -1,0 +1,1 @@
+lib/compiler/binary.ml: Array Cbsp_source Config Fmt Hashtbl Layout List Marker

@@ -1,0 +1,1 @@
+lib/compiler/binary.mli: Cbsp_source Config Format Hashtbl Layout Marker

@@ -1,0 +1,1 @@
+lib/compiler/config.ml: Fmt Isa

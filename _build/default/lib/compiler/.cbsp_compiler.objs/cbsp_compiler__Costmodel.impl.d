@@ -1,0 +1,1 @@
+lib/compiler/costmodel.ml: Config Isa

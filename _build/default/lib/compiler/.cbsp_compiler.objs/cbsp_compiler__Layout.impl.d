@@ -1,0 +1,1 @@
+lib/compiler/layout.ml: Array Cbsp_source Costmodel Isa

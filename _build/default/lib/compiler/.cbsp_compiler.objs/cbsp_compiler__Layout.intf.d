@@ -1,0 +1,1 @@
+lib/compiler/layout.mli: Cbsp_source Isa

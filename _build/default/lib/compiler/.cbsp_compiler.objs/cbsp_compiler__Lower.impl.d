@@ -1,0 +1,1 @@
+lib/compiler/lower.ml: Array Binary Cbsp_source Config Costmodel Hashtbl Layout List

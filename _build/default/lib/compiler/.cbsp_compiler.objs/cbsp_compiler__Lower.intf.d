@@ -1,0 +1,1 @@
+lib/compiler/lower.mli: Binary Cbsp_source Config

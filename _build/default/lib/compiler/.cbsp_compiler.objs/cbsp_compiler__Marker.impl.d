@@ -1,0 +1,1 @@
+lib/compiler/marker.ml: Fmt Hashtbl Map Option Set Stdlib String

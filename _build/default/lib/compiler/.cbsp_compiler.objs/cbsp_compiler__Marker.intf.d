@@ -1,0 +1,1 @@
+lib/compiler/marker.mli: Format Hashtbl Map Set

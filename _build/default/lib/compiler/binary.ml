@@ -1,0 +1,81 @@
+type mblock = {
+  mb_id : int;
+  mb_insts : int;
+  mb_accesses : Cbsp_source.Ast.access list;
+  mb_spills : int;
+}
+
+type mstmt =
+  | MBlock of mblock
+  | MLoop of mloop
+  | MCall of { mc_overhead : mblock; mc_target : string }
+  | MSelect of { ms_line : int; ms_dispatch : mblock; ms_arms : mstmt list array }
+
+and mloop = {
+  ml_uid : int;
+  ml_line : int;
+  ml_src_line : int;
+  ml_trips : Cbsp_source.Ast.trips;
+  ml_split_arity : int;
+  ml_unroll : int;
+  ml_header : mblock;
+  ml_backedge_insts : int;
+  ml_body : mstmt list;
+}
+
+type loop_info = {
+  li_uid : int;
+  li_line : int;
+  li_src_line : int;
+  li_unroll : int;
+  li_split_arity : int;
+}
+
+type t = {
+  program : Cbsp_source.Ast.program;
+  config : Config.t;
+  main_body : mstmt list;
+  proc_bodies : (string, mstmt list) Hashtbl.t;
+  n_blocks : int;
+  layout : Layout.t;
+  symbols : string list;
+  loops : loop_info array;
+  inlined : string list;
+}
+
+let find_proc_body t name = Hashtbl.find t.proc_bodies name
+
+let rec iter_mstmt f = function
+  | MBlock b -> f b
+  | MLoop l ->
+    f l.ml_header;
+    List.iter (iter_mstmt f) l.ml_body
+  | MCall { mc_overhead; _ } -> f mc_overhead
+  | MSelect { ms_dispatch; ms_arms; _ } ->
+    f ms_dispatch;
+    Array.iter (List.iter (iter_mstmt f)) ms_arms
+
+let iter_blocks f t =
+  List.iter (iter_mstmt f) t.main_body;
+  Hashtbl.iter (fun _ body -> List.iter (iter_mstmt f) body) t.proc_bodies
+
+let static_marker_keys t =
+  let keys = ref Marker.Set.empty in
+  List.iter (fun name -> keys := Marker.Set.add (Marker.Proc_entry name) !keys) t.symbols;
+  Array.iter
+    (fun li ->
+      keys := Marker.Set.add (Marker.Loop_entry li.li_line) !keys;
+      keys := Marker.Set.add (Marker.Loop_back li.li_line) !keys)
+    t.loops;
+  Marker.Set.elements !keys
+
+let total_static_insts t =
+  let acc = ref 0 in
+  iter_blocks (fun b -> acc := !acc + b.mb_insts) t;
+  !acc
+
+let pp_summary ppf t =
+  Fmt.pf ppf "%s [%s]: %d blocks, %d loops, %d symbols, %d inlined, %d static insts"
+    t.program.Cbsp_source.Ast.prog_name (Config.label t.config) t.n_blocks
+    (Array.length t.loops) (List.length t.symbols) (List.length t.inlined)
+    (total_static_insts t)

@@ -1,0 +1,78 @@
+(** The lowered ("machine") form of a program under one configuration.
+
+    A binary mirrors the source structure but annotated with machine
+    costs: every straight-line region is an {!mblock} with a dense id (the
+    basic-block-vector dimension), an instruction count and its memory
+    behaviour; loops carry possibly-mangled debug lines, unroll factors and
+    split arity; calls to inlined procedures have disappeared (their bodies
+    are spliced in).  The executor walks this structure. *)
+
+type mblock = {
+  mb_id : int;       (** Dense per-binary block id (BBV dimension). *)
+  mb_insts : int;    (** Instructions per execution. *)
+  mb_accesses : Cbsp_source.Ast.access list;  (** Source data accesses. *)
+  mb_spills : int;   (** Stack spill accesses per execution. *)
+}
+
+type mstmt =
+  | MBlock of mblock
+  | MLoop of mloop
+  | MCall of { mc_overhead : mblock; mc_target : string }
+      (** Call to a non-inlined procedure; the overhead block models
+          prologue/epilogue cost and fires the callee's entry marker. *)
+  | MSelect of { ms_line : int; ms_dispatch : mblock; ms_arms : mstmt list array }
+
+and mloop = {
+  ml_uid : int;       (** Dense per-binary loop id. *)
+  ml_line : int;      (** Debug line; negative when compiler-mangled. *)
+  ml_src_line : int;  (** Original source line (trip-count identity). *)
+  ml_trips : Cbsp_source.Ast.trips;
+  ml_split_arity : int;
+      (** How many machine loops the original source loop became (1 when
+          unsplit).  The executor divides the per-source-line entry
+          counter by this so split fragments of entry [k] all evaluate the
+          trip count the original would have at entry [k]. *)
+  ml_unroll : int;    (** >= 1; back-edge executes once per [ml_unroll]
+                          source iterations. *)
+  ml_header : mblock;
+  ml_backedge_insts : int;
+  ml_body : mstmt list;
+}
+
+type loop_info = {
+  li_uid : int;
+  li_line : int;
+  li_src_line : int;
+  li_unroll : int;
+  li_split_arity : int;
+}
+
+type t = {
+  program : Cbsp_source.Ast.program;
+  config : Config.t;
+  main_body : mstmt list;
+  proc_bodies : (string, mstmt list) Hashtbl.t;
+      (** Lowered bodies of non-inlined procedures, for [MCall]. *)
+  n_blocks : int;
+  layout : Layout.t;
+  symbols : string list;  (** Non-inlined procedure names (debug symbols). *)
+  loops : loop_info array;
+  inlined : string list;  (** Procedures erased by inlining. *)
+}
+
+val find_proc_body : t -> string -> mstmt list
+(** @raise Not_found for inlined or unknown procedures. *)
+
+val static_marker_keys : t -> Marker.key list
+(** Every marker key this binary can emit (procedure entries of surviving
+    symbols; loop entry and back keys per loop line), deduplicated. *)
+
+val iter_blocks : (mblock -> unit) -> t -> unit
+(** Visit every static block (headers, dispatches and overheads
+    included). *)
+
+val total_static_insts : t -> int
+(** Sum of [mb_insts] over static blocks — a crude size metric used in
+    reports. *)
+
+val pp_summary : Format.formatter -> t -> unit

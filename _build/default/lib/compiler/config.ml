@@ -1,0 +1,22 @@
+type opt_level = O0 | O2
+
+type t = { isa : Isa.t; opt : opt_level; loop_splitting : bool }
+
+let v ?(loop_splitting = false) isa opt = { isa; opt; loop_splitting }
+
+let paper_four ?(loop_splitting = false) () =
+  [ v ~loop_splitting Isa.X86_32 O0;
+    v ~loop_splitting Isa.X86_32 O2;
+    v ~loop_splitting Isa.X86_64 O0;
+    v ~loop_splitting Isa.X86_64 O2 ]
+
+let label t =
+  Isa.short t.isa ^ (match t.opt with O0 -> "u" | O2 -> "o")
+
+let opt_name = function O0 -> "O0" | O2 -> "O2"
+
+let equal a b = a = b
+
+let pp ppf t =
+  Fmt.pf ppf "%s-%s%s" (Isa.name t.isa) (opt_name t.opt)
+    (if t.loop_splitting then "+split" else "")

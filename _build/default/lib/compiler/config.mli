@@ -1,0 +1,31 @@
+(** A compilation configuration: ISA × optimization level, plus the
+    optional aggressive loop-splitting pass.  The paper's experiments use
+    four binaries per program: 32-bit/64-bit × unoptimized/optimized. *)
+
+type opt_level = O0 | O2
+
+type t = {
+  isa : Isa.t;
+  opt : opt_level;
+  loop_splitting : bool;
+      (** When true (and [opt = O2]), loops marked [splittable] are
+          distributed over their body statements with mangled debug lines —
+          the paper's applu case, which defeats marker mapping. *)
+}
+
+val v : ?loop_splitting:bool -> Isa.t -> opt_level -> t
+
+val paper_four : ?loop_splitting:bool -> unit -> t list
+(** The four configurations of the paper, in the fixed order
+    [32u; 32o; 64u; 64o].  Index 0 (32-bit unoptimized) is the default
+    primary binary. *)
+
+val label : t -> string
+(** Paper-style label: ["32u"], ["32o"], ["64u"], ["64o"]. *)
+
+val opt_name : opt_level -> string
+(** ["O0"] / ["O2"]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+(* Scaling factors, in fixed-point thousandths to keep everything integral
+   and deterministic.  Baseline 1.000 = 32-bit optimized code. *)
+let insts_factor_milli (config : Config.t) =
+  match (config.opt, config.isa) with
+  | Config.O0, Isa.X86_32 -> 2400
+  | Config.O0, Isa.X86_64 -> 2050
+  | Config.O2, Isa.X86_32 -> 1000
+  | Config.O2, Isa.X86_64 -> 920
+
+let spill_rate_milli (config : Config.t) =
+  match (config.opt, config.isa) with
+  | Config.O0, Isa.X86_32 -> 320
+  | Config.O0, Isa.X86_64 -> 210
+  | Config.O2, Isa.X86_32 -> 25
+  | Config.O2, Isa.X86_64 -> 12
+
+let work_insts config src_insts =
+  max 1 (src_insts * insts_factor_milli config / 1000)
+
+let spill_accesses config src_insts = src_insts * spill_rate_milli config / 1000
+
+let loop_header_insts (config : Config.t) =
+  match config.opt with Config.O0 -> 6 | Config.O2 -> 3
+
+let backedge_insts (config : Config.t) =
+  match config.opt with Config.O0 -> 4 | Config.O2 -> 2
+
+let call_overhead_insts (config : Config.t) =
+  match (config.opt, config.isa) with
+  | Config.O0, Isa.X86_32 -> 14
+  | Config.O0, Isa.X86_64 -> 11
+  | Config.O2, Isa.X86_32 -> 7
+  | Config.O2, Isa.X86_64 -> 5
+
+let call_stack_accesses (config : Config.t) =
+  match config.opt with Config.O0 -> 6 | Config.O2 -> 2
+
+let select_dispatch_insts (config : Config.t) =
+  match config.opt with Config.O0 -> 8 | Config.O2 -> 4
+
+let unroll_factor (config : Config.t) =
+  match config.opt with Config.O0 -> 1 | Config.O2 -> 4
+
+let frame_bytes = 256

@@ -1,0 +1,46 @@
+(** Instruction-count and spill cost model of the synthetic compiler.
+
+    Numbers are chosen to match well-known compiler folklore that the
+    paper's setup exhibits:
+
+    - unoptimized (-O0) code executes roughly 2-2.5x the instructions of
+      optimized code (every source value round-trips through the stack);
+    - 64-bit code needs slightly fewer instructions than 32-bit at the same
+      level (twice the architectural registers), but at -O0 the difference
+      is larger because register pressure dominates;
+    - -O0 adds heavy stack (spill) traffic, which is cache-friendly and so
+      *lowers* CPI while raising total cycles.
+
+    All conversions are deterministic integer functions so that two
+    compilations of the same program are bit-identical. *)
+
+val work_insts : Config.t -> int -> int
+(** [work_insts config src_insts] is the machine-instruction count of a
+    source work statement.  Monotone in [src_insts] and always >= 1. *)
+
+val spill_accesses : Config.t -> int -> int
+(** Stack loads/stores the statement performs per execution (spill
+    traffic). *)
+
+val loop_header_insts : Config.t -> int
+(** Instructions executed once per loop entry (induction-variable init,
+    trip-count test). *)
+
+val backedge_insts : Config.t -> int
+(** Instructions charged per machine iteration (induction update +
+    conditional branch). *)
+
+val call_overhead_insts : Config.t -> int
+(** Prologue + epilogue + argument marshalling of a non-inlined call. *)
+
+val call_stack_accesses : Config.t -> int
+(** Stack accesses of a non-inlined call (saves/restores). *)
+
+val select_dispatch_insts : Config.t -> int
+(** Cost of the indirect dispatch of a [Select]. *)
+
+val unroll_factor : Config.t -> int
+(** Unroll factor applied to [unrollable] loops: 1 at -O0, 4 at -O2. *)
+
+val frame_bytes : int
+(** Size of the synthetic stack frame spill traffic cycles within. *)

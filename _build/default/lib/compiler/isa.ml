@@ -1,0 +1,11 @@
+type t = X86_32 | X86_64
+
+let pointer_bytes = function X86_32 -> 4 | X86_64 -> 8
+
+let name = function X86_32 -> "x86_32" | X86_64 -> "x86_64"
+
+let short = function X86_32 -> "32" | X86_64 -> "64"
+
+let all = [ X86_32; X86_64 ]
+
+let equal a b = a = b

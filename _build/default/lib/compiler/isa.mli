@@ -1,0 +1,20 @@
+(** Instruction-set architectures.  The paper compiles every SPEC program
+    for 32-bit x86 and 64-bit x86-64; the observable differences we model
+    are pointer width (doubles the footprint of pointer-dense data) and
+    instruction-count scaling (64-bit code has more registers, so slightly
+    fewer instructions at the same optimization level). *)
+
+type t = X86_32 | X86_64
+
+val pointer_bytes : t -> int
+(** 4 for {!X86_32}, 8 for {!X86_64}. *)
+
+val name : t -> string
+(** ["x86_32"] / ["x86_64"]. *)
+
+val short : t -> string
+(** ["32"] / ["64"] — used in the paper's configuration labels. *)
+
+val all : t list
+
+val equal : t -> t -> bool

@@ -1,0 +1,56 @@
+type key = Proc_entry of string | Loop_entry of int | Loop_back of int
+
+type kind = Kproc | Kloop_entry | Kloop_back
+
+let kind_of = function
+  | Proc_entry _ -> Kproc
+  | Loop_entry _ -> Kloop_entry
+  | Loop_back _ -> Kloop_back
+
+let compare = Stdlib.compare
+
+let equal a b = compare a b = 0
+
+let hash = Hashtbl.hash
+
+let is_mangled = function
+  | Proc_entry _ -> false
+  | Loop_entry line | Loop_back line -> line < 0
+
+let pp ppf = function
+  | Proc_entry name -> Fmt.pf ppf "proc:%s" name
+  | Loop_entry line -> Fmt.pf ppf "loop-entry:%d" line
+  | Loop_back line -> Fmt.pf ppf "loop-back:%d" line
+
+let to_string key = Fmt.str "%a" pp key
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i ->
+    let kind = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match kind with
+     | "proc" when rest <> "" -> Some (Proc_entry rest)
+     | "loop-entry" -> Option.map (fun l -> Loop_entry l) (int_of_string_opt rest)
+     | "loop-back" -> Option.map (fun l -> Loop_back l) (int_of_string_opt rest)
+     | _ -> None)
+
+module Ord = struct
+  type t = key
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Hashed = struct
+  type t = key
+
+  let equal = equal
+
+  let hash = hash
+end
+
+module Table = Hashtbl.Make (Hashed)

@@ -1,0 +1,1 @@
+lib/core/matching.ml: Array Cbsp_compiler Cbsp_profile Cbsp_source Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/matching.mli: Cbsp_compiler Cbsp_profile Format

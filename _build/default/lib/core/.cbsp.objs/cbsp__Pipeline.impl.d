@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Cbsp_cache Cbsp_compiler Cbsp_exec Cbsp_profile Cbsp_simpoint Cbsp_util List Matching

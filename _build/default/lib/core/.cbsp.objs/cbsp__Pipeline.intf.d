@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Cbsp_cache Cbsp_compiler Cbsp_profile Cbsp_simpoint Cbsp_source Matching

@@ -1,0 +1,1 @@
+lib/core/points_file.ml: Array Buffer Cbsp_compiler Cbsp_profile Cbsp_source Fun List Pipeline Printf String

@@ -1,0 +1,1 @@
+lib/core/points_file.mli: Cbsp_source Pipeline

@@ -1,0 +1,102 @@
+module Ast = Cbsp_source.Ast
+module Marker = Cbsp_compiler.Marker
+module Binary = Cbsp_compiler.Binary
+module Structprof = Cbsp_profile.Structprof
+
+type options = {
+  use_proc : bool;
+  use_loop_entry : bool;
+  use_loop_back : bool;
+  inline_recovery : bool;
+}
+
+let default_options =
+  { use_proc = true; use_loop_entry = true; use_loop_back = true;
+    inline_recovery = true }
+
+type t = {
+  keys : Marker.Set.t;
+  counts : int Marker.Map.t;
+  candidates : int;
+}
+
+(* Source lines of every loop syntactically inside a procedure body (calls
+   not followed: a callee's loops belong to the callee). *)
+let loop_lines_of_proc (proc : Ast.proc) =
+  let acc = ref [] in
+  let rec visit stmt =
+    match (stmt : Ast.stmt) with
+    | Ast.Work _ | Ast.Call _ -> ()
+    | Ast.Loop l ->
+      acc := l.loop_line :: !acc;
+      List.iter visit l.body
+    | Ast.Select s -> Array.iter (List.iter visit) s.arms
+  in
+  List.iter visit proc.Ast.proc_body;
+  !acc
+
+let inlined_loop_lines binaries =
+  let lines = Hashtbl.create 32 in
+  List.iter
+    (fun (binary : Binary.t) ->
+      List.iter
+        (fun name ->
+          let proc = Ast.find_proc binary.Binary.program name in
+          List.iter (fun line -> Hashtbl.replace lines line ()) (loop_lines_of_proc proc))
+        binary.Binary.inlined)
+    binaries;
+  lines
+
+let kind_enabled options key =
+  match Marker.kind_of key with
+  | Marker.Kproc -> options.use_proc
+  | Marker.Kloop_entry -> options.use_loop_entry
+  | Marker.Kloop_back -> options.use_loop_back
+
+let find ?(options = default_options) ~binaries ~profiles () =
+  if binaries = [] then invalid_arg "Matching.find: no binaries";
+  if List.length binaries <> List.length profiles then
+    invalid_arg "Matching.find: binaries/profiles length mismatch";
+  let forbidden_lines =
+    if options.inline_recovery then Hashtbl.create 1
+    else inlined_loop_lines binaries
+  in
+  let line_forbidden line = Hashtbl.mem forbidden_lines line in
+  let eligible key =
+    (not (Marker.is_mangled key))
+    && kind_enabled options key
+    &&
+    match key with
+    | Marker.Proc_entry _ -> true
+    | Marker.Loop_entry line | Marker.Loop_back line -> not (line_forbidden line)
+  in
+  match profiles with
+  | [] -> assert false
+  | first :: rest ->
+    let candidates = ref Marker.Set.empty in
+    List.iter
+      (fun profile ->
+        Marker.Map.iter
+          (fun key _ ->
+            if not (Marker.is_mangled key) then
+              candidates := Marker.Set.add key !candidates)
+          profile)
+      profiles;
+    let agreed =
+      Marker.Map.filter
+        (fun key count ->
+          eligible key
+          && List.for_all (fun p -> Structprof.count p key = count) rest)
+        first
+    in
+    { keys = Marker.Map.fold (fun k _ s -> Marker.Set.add k s) agreed Marker.Set.empty;
+      counts = agreed;
+      candidates = Marker.Set.cardinal !candidates }
+
+let is_mappable t key = Marker.Set.mem key t.keys
+
+let cardinal t = Marker.Set.cardinal t.keys
+
+let pp ppf t =
+  Fmt.pf ppf "%d mappable of %d candidate keys@." (cardinal t) t.candidates;
+  Marker.Map.iter (fun key count -> Fmt.pf ppf "  %a = %d@." Marker.pp key count) t.counts

@@ -1,0 +1,53 @@
+(** Mappable-point discovery (paper Section 3.2.2).
+
+    Given the call-and-branch profile of every binary, find the marker
+    keys that can be used as cross-binary interval delimiters:
+
+    - the key must exist in every binary's profile (procedures erased by
+      inlining, and lines mangled by restructuring, drop out here);
+    - its execution count must be *identical* in every binary (unrolled
+      loops' back-edges drop out here; entries survive);
+    - compiler-mangled keys are never eligible — no other binary can name
+      them.
+
+    Loops inside inlined procedures are recovered automatically: debug
+    line info survives inlining, and when a procedure is inlined at
+    several call sites, the per-line profile aggregates the copies, so the
+    total still equals the out-of-line count.  This is the simple-inlining
+    recovery of Section 3.3; the [inline_recovery] option exists to turn
+    it off for ablation. *)
+
+type options = {
+  use_proc : bool;        (** Allow procedure-entry markers. *)
+  use_loop_entry : bool;  (** Allow loop-entry markers. *)
+  use_loop_back : bool;   (** Allow loop back-edge markers. *)
+  inline_recovery : bool;
+      (** When false, loop markers belonging to a procedure that *any*
+          binary inlined are discarded — modelling a matcher that only
+          uses symbols to anchor loops. *)
+}
+
+val default_options : options
+(** Everything on. *)
+
+type t = {
+  keys : Cbsp_compiler.Marker.Set.t;
+  counts : int Cbsp_compiler.Marker.Map.t;
+      (** The agreed execution count of every mappable key. *)
+  candidates : int;  (** Distinct unmangled keys seen across binaries. *)
+}
+
+val find :
+  ?options:options ->
+  binaries:Cbsp_compiler.Binary.t list ->
+  profiles:Cbsp_profile.Structprof.t list ->
+  unit ->
+  t
+(** [binaries] and [profiles] are parallel lists (same order); at least
+    one binary is required.  @raise Invalid_argument otherwise. *)
+
+val is_mappable : t -> Cbsp_compiler.Marker.key -> bool
+
+val cardinal : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,291 @@
+module Config = Cbsp_compiler.Config
+module Lower = Cbsp_compiler.Lower
+module Binary = Cbsp_compiler.Binary
+module Executor = Cbsp_exec.Executor
+module Interval = Cbsp_profile.Interval
+module Structprof = Cbsp_profile.Structprof
+module Simpoint = Cbsp_simpoint.Simpoint
+module Cpu = Cbsp_cache.Cpu
+module Stats = Cbsp_util.Stats
+
+type truth = { t_insts : int; t_cycles : float; t_cpi : float }
+
+type metric = { m_name : string; m_true_pki : float; m_est_pki : float }
+
+type phase_stat = {
+  ph_id : int;
+  ph_weight : float;
+  ph_true_cpi : float;
+  ph_sp_cpi : float;
+}
+
+type binary_result = {
+  br_config : Config.t;
+  br_truth : truth;
+  br_est_cpi : float;
+  br_est_cycles : float;
+  br_cpi_error : float;
+  br_n_points : int;
+  br_n_intervals : int;
+  br_avg_interval : float;
+  br_phases : phase_stat array;
+  br_metrics : metric array;
+}
+
+type points = {
+  pt_target : int;
+  pt_boundaries : Interval.boundary array;
+  pt_phase_of : int array;
+  pt_reps : int array;
+}
+
+type fli_result = { fli_binaries : binary_result list; fli_target : int }
+
+type vli_result = {
+  vli_binaries : binary_result list;
+  vli_primary : int;
+  vli_mappable : Matching.t;
+  vli_n_boundaries : int;
+  vli_target : int;
+  vli_points : points;
+}
+
+let default_target = 100_000
+
+(* Cluster the non-empty intervals; extend phase labels over empty
+   (trailing) intervals by inheriting the previous label so every interval
+   index has a phase and representative indices refer to the original
+   interval numbering. *)
+type clustering = {
+  cl_phase_of : int array;               (* interval index -> phase *)
+  cl_reps : int array;                   (* phase -> interval index *)
+  cl_n_phases : int;
+}
+
+let cluster ~sp_config (intervals : Interval.interval array) =
+  let live =
+    Array.to_list (Array.mapi (fun i iv -> (i, iv)) intervals)
+    |> List.filter (fun (_, iv) -> iv.Interval.insts > 0)
+  in
+  let live_idx = Array.of_list (List.map fst live) in
+  let weights =
+    Array.of_list (List.map (fun (_, iv) -> float_of_int iv.Interval.insts) live)
+  in
+  let bbvs = Array.of_list (List.map (fun (_, iv) -> iv.Interval.bbv) live) in
+  let sp = Simpoint.pick ~config:sp_config ~weights ~bbvs () in
+  let n = Array.length intervals in
+  let phase_of = Array.make n 0 in
+  Array.iteri (fun j phase -> phase_of.(live_idx.(j)) <- phase) sp.Simpoint.phase_of;
+  (* Empty intervals inherit the previous live interval's phase. *)
+  let last = ref 0 in
+  for i = 0 to n - 1 do
+    if intervals.(i).Interval.insts > 0 then last := phase_of.(i)
+    else phase_of.(i) <- !last
+  done;
+  let reps =
+    Array.map (fun p -> live_idx.(p.Simpoint.rep)) sp.Simpoint.points
+  in
+  { cl_phase_of = phase_of; cl_reps = reps; cl_n_phases = sp.Simpoint.k }
+
+(* Per-binary phase statistics and the SimPoint CPI estimate, from this
+   binary's own per-interval measurements and the (shared or per-binary)
+   clustering.  This is exactly the paper's step 6: weights are the
+   fraction of *this binary's* dynamic instructions per phase. *)
+let summarize ~config ~truth ~counter_names ~clustering
+    (intervals : Interval.interval array) =
+  let k = clustering.cl_n_phases in
+  let insts_per_phase = Array.make k 0.0 in
+  let cycles_per_phase = Array.make k 0.0 in
+  Array.iteri
+    (fun i (iv : Interval.interval) ->
+      let p = clustering.cl_phase_of.(i) in
+      insts_per_phase.(p) <- insts_per_phase.(p) +. float_of_int iv.Interval.insts;
+      cycles_per_phase.(p) <- cycles_per_phase.(p) +. iv.Interval.cycles)
+    intervals;
+  let total_insts = Stats.sum insts_per_phase in
+  let phases =
+    Array.init k (fun p ->
+        let rep = intervals.(clustering.cl_reps.(p)) in
+        let sp_cpi =
+          if rep.Interval.insts = 0 then 0.0
+          else rep.Interval.cycles /. float_of_int rep.Interval.insts
+        in
+        let true_cpi =
+          if insts_per_phase.(p) = 0.0 then 0.0
+          else cycles_per_phase.(p) /. insts_per_phase.(p)
+        in
+        { ph_id = p;
+          ph_weight = (if total_insts = 0.0 then 0.0 else insts_per_phase.(p) /. total_insts);
+          ph_true_cpi = true_cpi; ph_sp_cpi = sp_cpi })
+  in
+  let est_cpi =
+    Array.fold_left (fun acc ph -> acc +. (ph.ph_weight *. ph.ph_sp_cpi)) 0.0 phases
+  in
+  (* Extra metrics (per 1000 instructions): truth from interval totals,
+     estimate from the representatives, exactly like CPI. *)
+  let n_extras =
+    Array.fold_left (fun acc iv -> max acc (Array.length iv.Interval.extras)) 0
+      intervals
+  in
+  let metrics =
+    List.mapi
+      (fun e name ->
+        let total = ref 0.0 in
+        Array.iter
+          (fun (iv : Interval.interval) ->
+            if e < Array.length iv.Interval.extras then
+              total := !total +. iv.Interval.extras.(e))
+          intervals;
+        let true_pki =
+          if truth.t_insts = 0 then 0.0
+          else !total /. float_of_int truth.t_insts *. 1000.0
+        in
+        let est_pki =
+          Array.fold_left
+            (fun acc ph ->
+              let rep = intervals.(clustering.cl_reps.(ph.ph_id)) in
+              if rep.Interval.insts = 0 || e >= Array.length rep.Interval.extras
+              then acc
+              else
+                acc
+                +. ph.ph_weight
+                   *. (rep.Interval.extras.(e)
+                       /. float_of_int rep.Interval.insts *. 1000.0))
+            0.0 phases
+        in
+        { m_name = name; m_true_pki = true_pki; m_est_pki = est_pki })
+      (if n_extras = 0 then [] else counter_names)
+    |> Array.of_list
+  in
+  let live = Array.to_list intervals |> List.filter (fun iv -> iv.Interval.insts > 0) in
+  let avg_interval =
+    match live with
+    | [] -> 0.0
+    | _ ->
+      float_of_int (List.fold_left (fun a iv -> a + iv.Interval.insts) 0 live)
+      /. float_of_int (List.length live)
+  in
+  { br_config = config; br_truth = truth; br_est_cpi = est_cpi;
+    br_est_cycles = est_cpi *. float_of_int truth.t_insts;
+    br_cpi_error = Stats.relative_error ~truth:truth.t_cpi ~estimate:est_cpi;
+    br_n_points = k; br_n_intervals = Array.length intervals;
+    br_avg_interval = avg_interval; br_phases = phases; br_metrics = metrics }
+
+let measure_truth totals cpu =
+  let insts = totals.Executor.insts in
+  { t_insts = insts; t_cycles = Cpu.cycles cpu;
+    t_cpi = (if insts = 0 then 0.0 else Cpu.cycles cpu /. float_of_int insts) }
+
+let run_fli ?(sp_config = Simpoint.default_config) ?cache_config program ~configs
+    ~input ~target =
+  if configs = [] then invalid_arg "Pipeline.run_fli: no configs";
+  let binaries =
+    List.map
+      (fun (config : Config.t) ->
+        let binary = Lower.compile program config in
+        let cpu = Cpu.create ?config:cache_config () in
+        let iobs, read =
+          Interval.fli_observer ~n_blocks:binary.Binary.n_blocks ~target
+            ~cycles:(fun () -> Cpu.cycles cpu)
+            ~extras:(fun () -> Cpu.extra_counters cpu)
+            ()
+        in
+        (* The interval builder must observe each block BEFORE the CPU
+           charges it, so a cut's cycle sample excludes the block that
+           starts the next interval. *)
+        let totals =
+          Executor.run binary input (Executor.compose [ iobs; Cpu.observer cpu ])
+        in
+        let intervals = read () in
+        let clustering = cluster ~sp_config intervals in
+        summarize ~config ~truth:(measure_truth totals cpu)
+          ~counter_names:(Cpu.extra_counter_names cpu) ~clustering intervals)
+      configs
+  in
+  { fli_binaries = binaries; fli_target = target }
+
+let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
+    ?(primary = 0) program ~configs ~input ~target =
+  let n = List.length configs in
+  if n = 0 then invalid_arg "Pipeline.run_vli: no configs";
+  if primary < 0 || primary >= n then invalid_arg "Pipeline.run_vli: bad primary";
+  let binaries = List.map (Lower.compile program) configs in
+  (* Step 1: call & branch profile of every binary. *)
+  let profiles = List.map (fun b -> Structprof.profile b input) binaries in
+  (* Step 2: mappable points across all binaries. *)
+  let mappable = Matching.find ?options:match_options ~binaries ~profiles () in
+  (* Steps 3-4: VLIs and simulation points on the primary binary. *)
+  let primary_binary = List.nth binaries primary in
+  let primary_cpu = Cpu.create ?config:cache_config () in
+  let robs, read =
+    Interval.vli_recorder ~n_blocks:primary_binary.Binary.n_blocks ~target
+      ~mappable:(Matching.is_mappable mappable)
+      ~cycles:(fun () -> Cpu.cycles primary_cpu)
+      ~extras:(fun () -> Cpu.extra_counters primary_cpu)
+      ()
+  in
+  let primary_totals =
+    Executor.run primary_binary input
+      (Executor.compose [ robs; Cpu.observer primary_cpu ])
+  in
+  let primary_intervals, boundaries = read () in
+  let clustering = cluster ~sp_config primary_intervals in
+  (* Steps 5-6: map boundaries into every binary (free: they are
+     (marker, count) pairs) and recompute weights per binary. *)
+  let results =
+    List.mapi
+      (fun i (binary : Binary.t) ->
+        if i = primary then
+          summarize ~config:binary.Binary.config
+            ~truth:(measure_truth primary_totals primary_cpu)
+            ~counter_names:(Cpu.extra_counter_names primary_cpu)
+            ~clustering primary_intervals
+        else begin
+          let cpu = Cpu.create ?config:cache_config () in
+          let fobs, read_follow =
+            Interval.vli_follower ~boundaries
+              ~cycles:(fun () -> Cpu.cycles cpu)
+              ~extras:(fun () -> Cpu.extra_counters cpu)
+              ()
+          in
+          let totals =
+            Executor.run binary input
+              (Executor.compose [ fobs; Cpu.observer cpu ])
+          in
+          let intervals = read_follow () in
+          if Array.length intervals <> Array.length primary_intervals then
+            failwith "Pipeline.run_vli: interval count diverged across binaries";
+          summarize ~config:binary.Binary.config ~truth:(measure_truth totals cpu)
+            ~counter_names:(Cpu.extra_counter_names cpu) ~clustering intervals
+        end)
+      binaries
+  in
+  { vli_binaries = results; vli_primary = primary; vli_mappable = mappable;
+    vli_n_boundaries = Array.length boundaries; vli_target = target;
+    vli_points =
+      { pt_target = target; pt_boundaries = boundaries;
+        pt_phase_of = clustering.cl_phase_of; pt_reps = clustering.cl_reps } }
+
+let replay ?cache_config (binary : Binary.t) ~input points =
+  let cpu = Cpu.create ?config:cache_config () in
+  let fobs, read_follow =
+    Interval.vli_follower ~boundaries:points.pt_boundaries
+      ~cycles:(fun () -> Cpu.cycles cpu)
+      ~extras:(fun () -> Cpu.extra_counters cpu)
+      ()
+  in
+  let totals =
+    Executor.run binary input (Executor.compose [ fobs; Cpu.observer cpu ])
+  in
+  let intervals = read_follow () in
+  if Array.length intervals <> Array.length points.pt_phase_of then
+    failwith "Pipeline.replay: points do not match this (program, input)";
+  let clustering =
+    { cl_phase_of = points.pt_phase_of; cl_reps = points.pt_reps;
+      cl_n_phases = Array.length points.pt_reps }
+  in
+  summarize ~config:binary.Binary.config ~truth:(measure_truth totals cpu)
+    ~counter_names:(Cpu.extra_counter_names cpu) ~clustering intervals
+
+let find_binary results ~label =
+  List.find (fun r -> Config.label r.br_config = label) results

@@ -1,0 +1,120 @@
+(** End-to-end simulation-point pipelines: the paper's two methods.
+
+    {b Per-binary SimPoint (FLI)} — Section 2: each binary independently
+    gets fixed-length intervals, its own clustering and its own simulation
+    points.  Accurate per binary; biases may differ across binaries.
+
+    {b Mappable SimPoint (VLI)} — Section 3: mappable markers are
+    intersected across all binaries, the primary binary is cut into
+    variable-length intervals at mappable markers, clustered once, and the
+    chosen simulation points are mapped to every binary as
+    (marker, count) boundary pairs.  Weights are then recomputed per
+    binary from its own per-phase instruction totals.
+
+    Both pipelines "simulate" each chosen region through the CMP$im-style
+    CPI model in a single full pass that records per-interval
+    (instructions, cycles) — methodologically the region's detailed
+    simulation with perfectly warm state, which also yields the true CPI
+    of every phase for the bias tables. *)
+
+type truth = {
+  t_insts : int;
+  t_cycles : float;
+  t_cpi : float;
+}
+
+type metric = {
+  m_name : string;      (** e.g. ["LLC(L3D)_misses"]. *)
+  m_true_pki : float;   (** True events per 1000 instructions. *)
+  m_est_pki : float;    (** SimPoint-extrapolated events per 1000 insts. *)
+}
+(** SimPoint's step 6 covers "CPI, miss rate, etc."; besides CPI, both
+    pipelines extrapolate every extra counter the CPU model exports
+    (per-level misses, DRAM accesses) as per-kilo-instruction rates. *)
+
+type phase_stat = {
+  ph_id : int;
+  ph_weight : float;   (** Fraction of this binary's instructions. *)
+  ph_true_cpi : float; (** CPI over all the phase's intervals (this binary). *)
+  ph_sp_cpi : float;   (** CPI of the phase's representative interval. *)
+}
+
+type binary_result = {
+  br_config : Cbsp_compiler.Config.t;
+  br_truth : truth;
+  br_est_cpi : float;       (** SimPoint-extrapolated CPI. *)
+  br_est_cycles : float;    (** [br_est_cpi * t_insts]. *)
+  br_cpi_error : float;     (** |true - est| / true. *)
+  br_n_points : int;
+  br_n_intervals : int;
+  br_avg_interval : float;  (** Mean interval size in instructions. *)
+  br_phases : phase_stat array;  (** Indexed by phase id. *)
+  br_metrics : metric array;     (** Extra extrapolated metrics. *)
+}
+
+(** A chosen set of cross-binary simulation points — the repository's
+    analogue of the paper's PinPoints files: everything a simulator needs
+    to run the same regions in any binary of the program.  Produced by
+    {!run_vli}, serialized by {!Points_file}, consumed by {!replay}. *)
+type points = {
+  pt_target : int;
+  pt_boundaries : Cbsp_profile.Interval.boundary array;
+      (** Interval boundaries as (marker, count) pairs. *)
+  pt_phase_of : int array;   (** Interval index -> phase id. *)
+  pt_reps : int array;       (** Phase id -> representative interval. *)
+}
+
+type fli_result = {
+  fli_binaries : binary_result list;  (** Parallel to the input configs. *)
+  fli_target : int;
+}
+
+type vli_result = {
+  vli_binaries : binary_result list;
+  vli_primary : int;             (** Index of the primary binary. *)
+  vli_mappable : Matching.t;
+  vli_n_boundaries : int;
+  vli_target : int;
+  vli_points : points;           (** The mappable simulation points. *)
+}
+
+val default_target : int
+(** 100_000 — stands for the paper's 100M-instruction interval size. *)
+
+val run_fli :
+  ?sp_config:Cbsp_simpoint.Simpoint.config ->
+  ?cache_config:Cbsp_cache.Hierarchy.config ->
+  Cbsp_source.Ast.program ->
+  configs:Cbsp_compiler.Config.t list ->
+  input:Cbsp_source.Input.t ->
+  target:int ->
+  fli_result
+
+val run_vli :
+  ?sp_config:Cbsp_simpoint.Simpoint.config ->
+  ?cache_config:Cbsp_cache.Hierarchy.config ->
+  ?match_options:Matching.options ->
+  ?primary:int ->
+  Cbsp_source.Ast.program ->
+  configs:Cbsp_compiler.Config.t list ->
+  input:Cbsp_source.Input.t ->
+  target:int ->
+  vli_result
+(** [primary] defaults to 0 (the first configuration).
+    @raise Invalid_argument if [primary] is out of range or [configs] is
+    empty. *)
+
+val replay :
+  ?cache_config:Cbsp_cache.Hierarchy.config ->
+  Cbsp_compiler.Binary.t ->
+  input:Cbsp_source.Input.t ->
+  points ->
+  binary_result
+(** Measure one binary against an existing set of simulation points (e.g.
+    loaded from a points file): replay the boundaries, recompute weights,
+    extrapolate CPI and the extra metrics.  The points must come from the
+    same (program, input) — boundary replay fails otherwise. *)
+
+val find_binary : binary_result list -> label:string -> binary_result
+(** Look up by {!Cbsp_compiler.Config.label} (["32u"], ["64o"], ...).
+    @raise Not_found if absent. *)

@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Cbsp_compiler Cbsp_source Cbsp_util Hashtbl List

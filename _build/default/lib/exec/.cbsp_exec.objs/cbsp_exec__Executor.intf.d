@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Cbsp_compiler Cbsp_source

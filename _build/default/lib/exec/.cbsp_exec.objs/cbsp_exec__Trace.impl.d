@@ -1,0 +1,1 @@
+lib/exec/trace.ml: Cbsp_compiler Executor Fun Printf String

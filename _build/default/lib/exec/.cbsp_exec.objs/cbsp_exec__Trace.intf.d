@@ -1,0 +1,1 @@
+lib/exec/trace.mli: Cbsp_compiler Cbsp_source Executor

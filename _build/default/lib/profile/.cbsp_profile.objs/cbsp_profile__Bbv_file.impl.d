@@ -1,0 +1,1 @@
+lib/profile/bbv_file.ml: Array Buffer Fun Interval List Printf String

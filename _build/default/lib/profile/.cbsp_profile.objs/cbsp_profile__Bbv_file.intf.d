@@ -1,0 +1,1 @@
+lib/profile/bbv_file.mli: Interval

@@ -1,0 +1,1 @@
+lib/profile/interval.ml: Array Cbsp_compiler Cbsp_exec List Printf

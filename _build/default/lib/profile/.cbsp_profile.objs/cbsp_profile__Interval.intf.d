@@ -1,0 +1,1 @@
+lib/profile/interval.mli: Cbsp_compiler Cbsp_exec

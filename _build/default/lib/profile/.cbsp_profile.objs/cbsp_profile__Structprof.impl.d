@@ -1,0 +1,1 @@
+lib/profile/structprof.ml: Cbsp_compiler Cbsp_exec Fmt List

@@ -1,0 +1,1 @@
+lib/profile/structprof.mli: Cbsp_compiler Cbsp_exec Cbsp_source Format

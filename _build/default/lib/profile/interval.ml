@@ -1,0 +1,153 @@
+module Marker = Cbsp_compiler.Marker
+module Executor = Cbsp_exec.Executor
+
+type interval = {
+  insts : int;
+  cycles : float;
+  extras : float array;
+  bbv : float array;
+}
+
+type boundary = { bd_key : Marker.key; bd_count : int }
+
+let cpi interval =
+  if interval.insts = 0 then invalid_arg "Interval.cpi: empty interval";
+  interval.cycles /. float_of_int interval.insts
+
+(* Shared accumulator: current-interval instruction count, optional BBV,
+   and the cycle baseline for delta sampling. *)
+type acc = {
+  collect_bbv : bool;
+  n_blocks : int;
+  cycles : unit -> float;
+  extras : unit -> float array;
+  mutable cur_insts : int;
+  mutable cur_bbv : float array;
+  mutable cycle_base : float;
+  mutable extras_base : float array;
+  mutable done_rev : interval list;
+  mutable finalized : interval array option;
+}
+
+let make_acc ?(cycles = fun () -> 0.0) ?(extras = fun () -> [||]) ~collect_bbv
+    ~n_blocks () =
+  { collect_bbv; n_blocks; cycles; extras; cur_insts = 0;
+    cur_bbv = (if collect_bbv then Array.make n_blocks 0.0 else [||]);
+    cycle_base = 0.0; extras_base = extras (); done_rev = []; finalized = None }
+
+let acc_block acc id insts =
+  acc.cur_insts <- acc.cur_insts + insts;
+  if acc.collect_bbv then
+    acc.cur_bbv.(id) <- acc.cur_bbv.(id) +. float_of_int insts
+
+let acc_cut acc =
+  let now = acc.cycles () in
+  let extras_now = acc.extras () in
+  let interval =
+    { insts = acc.cur_insts; cycles = now -. acc.cycle_base;
+      extras = Array.mapi (fun i v -> v -. acc.extras_base.(i)) extras_now;
+      bbv = acc.cur_bbv }
+  in
+  acc.done_rev <- interval :: acc.done_rev;
+  acc.cur_insts <- 0;
+  acc.cur_bbv <- (if acc.collect_bbv then Array.make acc.n_blocks 0.0 else [||]);
+  acc.cycle_base <- now;
+  acc.extras_base <- extras_now
+
+(* The trailing interval is always emitted, even when empty: recorder and
+   follower must agree that a run with B boundaries has exactly B+1
+   intervals, or phase labels would shift between binaries whose suffix
+   after the last boundary happens to be empty in one and not another. *)
+let acc_finalize acc =
+  match acc.finalized with
+  | Some arr -> arr
+  | None ->
+    acc_cut acc;
+    let arr = Array.of_list (List.rev acc.done_rev) in
+    acc.finalized <- Some arr;
+    arr
+
+let fli_observer ~n_blocks ~target ?cycles ?extras () =
+  if target <= 0 then invalid_arg "Interval.fli_observer: target must be positive";
+  let acc = make_acc ?cycles ?extras ~collect_bbv:true ~n_blocks () in
+  let obs =
+    { Executor.null_observer with
+      Executor.on_block =
+        (fun id insts ->
+          (* Cut before the block that would extend a full interval. *)
+          if acc.cur_insts >= target then acc_cut acc;
+          acc_block acc id insts) }
+  in
+  (obs, fun () -> acc_finalize acc)
+
+let vli_recorder ~n_blocks ~target ~mappable ?cycles ?extras () =
+  if target <= 0 then invalid_arg "Interval.vli_recorder: target must be positive";
+  let acc = make_acc ?cycles ?extras ~collect_bbv:true ~n_blocks () in
+  let key_counts = Marker.Table.create 256 in
+  let boundaries_rev = ref [] in
+  let obs =
+    { Executor.on_block = (fun id insts -> acc_block acc id insts);
+      on_access = (fun _ _ -> ());
+      on_marker =
+        (fun key ->
+          if mappable key then begin
+            let count =
+              match Marker.Table.find_opt key_counts key with
+              | Some r ->
+                incr r;
+                !r
+              | None ->
+                Marker.Table.add key_counts key (ref 1);
+                1
+            in
+            if acc.cur_insts >= target then begin
+              boundaries_rev := { bd_key = key; bd_count = count } :: !boundaries_rev;
+              acc_cut acc
+            end
+          end) }
+  in
+  let read () =
+    (acc_finalize acc, Array.of_list (List.rev !boundaries_rev))
+  in
+  (obs, read)
+
+let vli_follower ?n_blocks ~boundaries ?cycles ?extras () =
+  let collect_bbv, n_blocks =
+    match n_blocks with Some n -> (true, n) | None -> (false, 0)
+  in
+  let acc = make_acc ?cycles ?extras ~collect_bbv ~n_blocks () in
+  let key_counts = Marker.Table.create 256 in
+  let next = ref 0 in
+  let total = Array.length boundaries in
+  let obs =
+    { Executor.on_block = (fun id insts -> acc_block acc id insts);
+      on_access = (fun _ _ -> ());
+      on_marker =
+        (fun key ->
+          if !next < total then begin
+            let count =
+              match Marker.Table.find_opt key_counts key with
+              | Some r ->
+                incr r;
+                !r
+              | None ->
+                Marker.Table.add key_counts key (ref 1);
+                1
+            in
+            let b = boundaries.(!next) in
+            if Marker.equal b.bd_key key && b.bd_count = count then begin
+              incr next;
+              acc_cut acc
+            end
+          end) }
+  in
+  let read () =
+    if !next < total then
+      failwith
+        (Printf.sprintf
+           "Interval.vli_follower: only %d of %d boundaries reached — \
+            boundaries do not belong to this (program, input)"
+           !next total);
+    acc_finalize acc
+  in
+  (obs, read)

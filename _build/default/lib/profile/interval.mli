@@ -1,0 +1,82 @@
+(** Interval construction: slicing one execution into contiguous,
+    non-overlapping intervals and collecting a basic block vector and
+    performance counters for each.
+
+    Three builders:
+
+    - {!fli_observer}: fixed-length intervals — cut before the first block
+      once the target instruction count is reached (SimPoint's classic
+      FLI, Section 2.1);
+    - {!vli_recorder}: variable-length intervals on the *primary* binary —
+      cut at the first mappable marker after the target, and record the
+      boundary as a (marker, global execution count) pair (Section 3.2.3);
+    - {!vli_follower}: replay recorded boundaries in *another* binary —
+      cut exactly when each boundary's marker reaches its recorded count
+      (Section 3.2.5).
+
+    Cut placement convention: a cut always falls between events, before
+    the block (or at the marker) that triggers it, so a block's
+    instructions, accesses and cycles land in the same interval.  The
+    trailing partial interval is always kept, even when empty, so that a
+    run with B boundaries has exactly B+1 intervals in *every* binary
+    (consumers must tolerate a zero-instruction trailing interval).
+
+    All builders accept an optional [cycles] thunk (typically reading a
+    cache simulator running in the same pass) sampled at each cut, so each
+    interval knows its simulated cycle count. *)
+
+type interval = {
+  insts : int;        (** Instructions in this interval. *)
+  cycles : float;     (** Simulated cycles (0 when no [cycles] thunk). *)
+  extras : float array;
+      (** Additional per-interval counters sampled at each cut (deltas of
+          the [extras] thunk), e.g. per-level cache misses; [[||]] when no
+          thunk was given. *)
+  bbv : float array;  (** Basic block vector, instruction-weighted;
+                          [[||]] when BBV collection is off. *)
+}
+
+type boundary = {
+  bd_key : Cbsp_compiler.Marker.key;
+  bd_count : int;
+      (** The cut lies immediately after the [bd_count]-th execution
+          (1-based, counted from the start of the run) of [bd_key]. *)
+}
+
+val cpi : interval -> float
+(** [cycles / insts].  @raise Invalid_argument on an empty interval. *)
+
+val fli_observer :
+  n_blocks:int ->
+  target:int ->
+  ?cycles:(unit -> float) ->
+  ?extras:(unit -> float array) ->
+  unit ->
+  Cbsp_exec.Executor.observer * (unit -> interval array)
+(** [n_blocks] sizes the BBVs; [target] is the interval length in
+    instructions.  The reader finalizes the trailing interval and may be
+    called once (subsequent calls return the same array). *)
+
+val vli_recorder :
+  n_blocks:int ->
+  target:int ->
+  mappable:(Cbsp_compiler.Marker.key -> bool) ->
+  ?cycles:(unit -> float) ->
+  ?extras:(unit -> float array) ->
+  unit ->
+  Cbsp_exec.Executor.observer * (unit -> interval array * boundary array)
+(** Cuts only at markers satisfying [mappable].  Returns exactly one more
+    interval than boundaries. *)
+
+val vli_follower :
+  ?n_blocks:int ->
+  boundaries:boundary array ->
+  ?cycles:(unit -> float) ->
+  ?extras:(unit -> float array) ->
+  unit ->
+  Cbsp_exec.Executor.observer * (unit -> interval array)
+(** Replays [boundaries] in order.  BBV collection happens only when
+    [n_blocks] is given (followers normally skip it: only the primary's
+    BBVs are clustered).  The reader raises [Failure] if the run ended
+    before every boundary was met — boundaries from a different program
+    or input. *)

@@ -1,0 +1,33 @@
+module Marker = Cbsp_compiler.Marker
+module Executor = Cbsp_exec.Executor
+
+type t = int Marker.Map.t
+
+let observer () =
+  let table = Marker.Table.create 256 in
+  let obs =
+    { Executor.null_observer with
+      Executor.on_marker =
+        (fun key ->
+          match Marker.Table.find_opt table key with
+          | Some r -> incr r
+          | None -> Marker.Table.add table key (ref 1)) }
+  in
+  let read () =
+    Marker.Table.fold (fun key r acc -> Marker.Map.add key !r acc) table
+      Marker.Map.empty
+  in
+  (obs, read)
+
+let profile binary input =
+  let obs, read = observer () in
+  let (_ : Executor.totals) = Executor.run binary input obs in
+  read ()
+
+let count t key =
+  match Marker.Map.find_opt key t with Some n -> n | None -> 0
+
+let keys t = Marker.Map.bindings t |> List.map fst
+
+let pp ppf t =
+  Marker.Map.iter (fun key n -> Fmt.pf ppf "%a = %d@." Marker.pp key n) t

@@ -1,0 +1,1 @@
+lib/report/ablation.ml: Array Cbsp Cbsp_compiler Cbsp_profile Cbsp_simpoint Cbsp_source Cbsp_util Cbsp_workloads Experiment Fmt List String Table

@@ -1,0 +1,1 @@
+lib/report/csv.ml: Array Buffer Cbsp Cbsp_util Experiment Filename Float Fun List Option Printf String Sys

@@ -1,0 +1,1 @@
+lib/report/experiment.ml: Array Cbsp Cbsp_compiler Cbsp_source Cbsp_util Cbsp_workloads List Unix

@@ -1,0 +1,1 @@
+lib/report/experiment.mli: Cbsp Cbsp_simpoint Cbsp_source

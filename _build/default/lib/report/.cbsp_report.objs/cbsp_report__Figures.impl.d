@@ -1,0 +1,1 @@
+lib/report/figures.ml: Array Cbsp Cbsp_cache Cbsp_util Experiment Float Fmt List Option Table

@@ -1,0 +1,1 @@
+lib/report/figures.mli: Experiment Format

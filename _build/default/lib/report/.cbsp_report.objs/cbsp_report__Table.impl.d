@@ -1,0 +1,1 @@
+lib/report/table.ml: Float Fmt List Printf String

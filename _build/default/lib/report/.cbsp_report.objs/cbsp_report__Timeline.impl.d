@@ -1,0 +1,1 @@
+lib/report/timeline.ml: Array Buffer Cbsp Char Fmt

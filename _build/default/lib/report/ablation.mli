@@ -1,0 +1,49 @@
+(** Ablation studies for the design choices DESIGN.md calls out.  Each
+    study runs the mappable-SimPoint pipeline with one knob varied and
+    reports the suite-average speedup error (over the paper's four
+    configuration pairs), so the contribution of each mechanism is
+    visible in isolation.
+
+    These go beyond the paper's own evaluation; they answer the questions
+    a reviewer would ask of Section 3: does the primary-binary choice
+    matter (the paper claims it is arbitrary)?  How much do the three
+    marker classes each contribute?  How sensitive is the method to the
+    interval target and to SimPoint's max-k?  What does the
+    simple-inlining recovery buy? *)
+
+type row = { label : string; values : (string * float) list }
+
+type study = { title : string; unit_label : string; rows : row list }
+
+val primary_choice :
+  ?names:string list -> ?target:int -> unit -> study
+(** Average VLI speedup error with each of the four binaries as the
+    primary. *)
+
+val marker_kinds : ?names:string list -> ?target:int -> unit -> study
+(** Mappable-key counts and speedup error with each marker class
+    disabled in turn. *)
+
+val interval_target : ?names:string list -> ?targets:int list -> unit -> study
+(** Error for FLI and VLI across interval target sizes. *)
+
+val max_k : ?names:string list -> ?ks:int list -> ?target:int -> unit -> study
+(** Error for FLI and VLI as SimPoint's cluster budget varies. *)
+
+val inline_recovery : ?names:string list -> ?target:int -> unit -> study
+(** VLI with and without line-based recovery of inlined procedures'
+    loops. *)
+
+val rep_policy : ?names:string list -> ?target:int -> unit -> study
+(** Centroid representatives vs early simulation points (PACT'03) at
+    several tolerances: error cost of picking earlier intervals. *)
+
+val k_search : ?names:string list -> ?target:int -> unit -> study
+(** Exhaustive k search vs SimPoint 3.0's binary search: error and the
+    number of clusterings evaluated. *)
+
+val render : study -> Format.formatter -> unit
+
+val default_names : string list
+(** The subset used when [names] is omitted: a mix of regular, irregular
+    and pathological workloads that keeps ablations fast. *)

@@ -1,0 +1,18 @@
+(** Machine-readable export of the experiment results: one CSV per
+    figure's data series, so the plots can be regenerated in any external
+    tool without re-running the suite.
+
+    Values are written in full precision; the first column is the
+    workload name, subsequent columns are the figure's series. *)
+
+val figure_rows : Experiment.t -> what:string -> (string list * string list list)
+(** [(header, rows)] for ["fig1"] .. ["fig5"] and ["metrics"].
+    @raise Invalid_argument for unknown names. *)
+
+val to_string : Experiment.t -> what:string -> string
+
+val save : Experiment.t -> what:string -> path:string -> unit
+
+val save_all : Experiment.t -> dir:string -> unit
+(** Write [fig1.csv] .. [fig5.csv] and [metrics.csv] into [dir]
+    (created if missing). *)

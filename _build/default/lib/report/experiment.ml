@@ -1,0 +1,75 @@
+module Pipeline = Cbsp.Pipeline
+module Metrics = Cbsp.Metrics
+module Registry = Cbsp_workloads.Registry
+module Config = Cbsp_compiler.Config
+module Stats = Cbsp_util.Stats
+
+type workload_result = {
+  wr_name : string;
+  wr_fli : Pipeline.fli_result;
+  wr_vli : Pipeline.vli_result;
+  wr_seconds : float;
+}
+
+type t = {
+  results : workload_result list;
+  target : int;
+  input : Cbsp_source.Input.t;
+}
+
+let run_suite ?names ?(target = Pipeline.default_target)
+    ?(input = Cbsp_source.Input.ref_input) ?sp_config ?primary
+    ?(progress = fun _ -> ()) () =
+  let entries =
+    match names with
+    | None -> Registry.all
+    | Some names -> List.map Registry.find names
+  in
+  let results =
+    List.map
+      (fun (entry : Registry.entry) ->
+        progress entry.Registry.name;
+        let t0 = Unix.gettimeofday () in
+        let program = entry.Registry.build () in
+        let configs =
+          Config.paper_four ~loop_splitting:entry.Registry.loop_splitting ()
+        in
+        let fli = Pipeline.run_fli ?sp_config program ~configs ~input ~target in
+        let vli =
+          Pipeline.run_vli ?sp_config ?primary program ~configs ~input ~target
+        in
+        { wr_name = entry.Registry.name; wr_fli = fli; wr_vli = vli;
+          wr_seconds = Unix.gettimeofday () -. t0 })
+      entries
+  in
+  { results; target; input }
+
+let find t name = List.find (fun r -> r.wr_name = name) t.results
+
+let mean_of f binaries =
+  Stats.mean (Array.of_list (List.map f binaries))
+
+let avg_n_points_fli r =
+  mean_of (fun b -> float_of_int b.Pipeline.br_n_points) r.wr_fli.Pipeline.fli_binaries
+
+let avg_n_points_vli r =
+  mean_of (fun b -> float_of_int b.Pipeline.br_n_points) r.wr_vli.Pipeline.vli_binaries
+
+let avg_interval_vli r =
+  mean_of (fun b -> b.Pipeline.br_avg_interval) r.wr_vli.Pipeline.vli_binaries
+
+let avg_cpi_error_fli r =
+  mean_of (fun b -> b.Pipeline.br_cpi_error) r.wr_fli.Pipeline.fli_binaries
+
+let avg_cpi_error_vli r =
+  mean_of (fun b -> b.Pipeline.br_cpi_error) r.wr_vli.Pipeline.vli_binaries
+
+let speedup_errors r ~pair:(a, b) ~fli =
+  let binaries =
+    if fli then r.wr_fli.Pipeline.fli_binaries else r.wr_vli.Pipeline.vli_binaries
+  in
+  Metrics.pair_error binaries ~a ~b
+
+let paper_pairs_same_platform = [ ("32u", "32o"); ("64u", "64o") ]
+
+let paper_pairs_cross_platform = [ ("32u", "64u"); ("32o", "64o") ]

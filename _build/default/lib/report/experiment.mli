@@ -1,0 +1,53 @@
+(** The paper's evaluation harness: run both pipelines over the benchmark
+    suite once and expose the per-workload results that every figure and
+    table is derived from (Section 4's methodology). *)
+
+type workload_result = {
+  wr_name : string;
+  wr_fli : Cbsp.Pipeline.fli_result;
+  wr_vli : Cbsp.Pipeline.vli_result;
+  wr_seconds : float;  (** Wall-clock time spent on this workload. *)
+}
+
+type t = {
+  results : workload_result list;  (** In suite order. *)
+  target : int;
+  input : Cbsp_source.Input.t;
+}
+
+val run_suite :
+  ?names:string list ->
+  ?target:int ->
+  ?input:Cbsp_source.Input.t ->
+  ?sp_config:Cbsp_simpoint.Simpoint.config ->
+  ?primary:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  t
+(** Runs per-binary FLI SimPoint and mappable VLI SimPoint on each named
+    workload (default: the whole suite) over the paper's four binaries.
+    [progress] is called with each workload's name before it runs.
+    @raise Not_found for unknown workload names. *)
+
+val find : t -> string -> workload_result
+(** @raise Not_found. *)
+
+(** Per-workload derived quantities, averaged over the four binaries
+    where the paper does (Figures 1-3). *)
+
+val avg_n_points_fli : workload_result -> float
+val avg_n_points_vli : workload_result -> float
+val avg_interval_vli : workload_result -> float
+val avg_cpi_error_fli : workload_result -> float
+val avg_cpi_error_vli : workload_result -> float
+
+val speedup_errors :
+  workload_result -> pair:string * string -> fli:bool -> float
+(** Speedup-estimation error for a configuration pair like
+    [("32u", "32o")], using FLI or VLI results. *)
+
+val paper_pairs_same_platform : (string * string) list
+(** Figure 4's pairs: 32u->32o and 64u->64o. *)
+
+val paper_pairs_cross_platform : (string * string) list
+(** Figure 5's pairs: 32u->64u and 32o->64o. *)

@@ -1,0 +1,209 @@
+module Pipeline = Cbsp.Pipeline
+module Metrics = Cbsp.Metrics
+module Hierarchy = Cbsp_cache.Hierarchy
+module Stats = Cbsp_util.Stats
+
+let table1 ppf =
+  let cfg = Hierarchy.paper_table1 in
+  let rows =
+    List.map
+      (fun (l : Hierarchy.level_config) ->
+        [ l.Hierarchy.lv_name;
+          Fmt.str "%dKB" (l.Hierarchy.lv_capacity / 1024);
+          Fmt.str "%d-way" l.Hierarchy.lv_assoc;
+          Fmt.str "%d bytes" l.Hierarchy.lv_line;
+          Fmt.str "%d cycles" l.Hierarchy.lv_latency; "WriteBack" ])
+      cfg.Hierarchy.levels
+    @ [ [ "DRAM"; ""; ""; ""; Fmt.str "%d cycles" cfg.Hierarchy.dram_latency; "" ] ]
+  in
+  Fmt.pf ppf "Table 1: Memory System Configuration@.";
+  Table.render
+    ~columns:
+      [ { Table.header = "Cache Level"; align = Table.Left };
+        { header = "Capacity"; align = Table.Right };
+        { header = "Associativity"; align = Table.Right };
+        { header = "Line Size"; align = Table.Right };
+        { header = "Hit Latency"; align = Table.Right };
+        { header = "Type"; align = Table.Left } ]
+    ~rows ppf
+
+(* Shared shape of Figures 1-5: per-benchmark values for one or more
+   series, with the trailing Avg entry the paper plots. *)
+let per_benchmark_figure ~title ~unit_label ~series ~fmt_value (t : Experiment.t) ppf =
+  let labels = List.map (fun r -> r.Experiment.wr_name) t.Experiment.results in
+  let with_avg (name, values) = (name, values @ [ Stats.mean (Array.of_list values) ]) in
+  let series = List.map (fun (n, f) -> (n, List.map f t.Experiment.results)) series in
+  let series = List.map with_avg series in
+  let labels = labels @ [ "Avg" ] in
+  Table.bar_chart ~title ~unit_label ~series ~labels ~fmt_value ppf
+
+let figure1 t ppf =
+  per_benchmark_figure
+    ~title:"Figure 1: Number of SimPoints (avg across the four binaries)"
+    ~unit_label:"simulation points"
+    ~series:
+      [ ("FLI", Experiment.avg_n_points_fli); ("VLI", Experiment.avg_n_points_vli) ]
+    ~fmt_value:(fun v -> Fmt.str "%.1f" v)
+    t ppf
+
+let figure2 t ppf =
+  per_benchmark_figure
+    ~title:
+      (Fmt.str
+         "Figure 2: Average VLI interval size (target %d; FLI is fixed at the \
+          target)"
+         t.Experiment.target)
+    ~unit_label:"instructions"
+    ~series:[ ("VLI", Experiment.avg_interval_vli) ]
+    ~fmt_value:(fun v -> Fmt.str "%.0f" v)
+    t ppf
+
+let figure3 t ppf =
+  per_benchmark_figure
+    ~title:"Figure 3: CPI error (avg across the four binaries)"
+    ~unit_label:"relative error"
+    ~series:
+      [ ("FLI", Experiment.avg_cpi_error_fli); ("VLI", Experiment.avg_cpi_error_vli) ]
+    ~fmt_value:Table.pct t ppf
+
+let speedup_figure ~title ~pairs t ppf =
+  let series =
+    List.concat_map
+      (fun ((a, b) as pair) ->
+        [ (Fmt.str "fli_%s%s" a b,
+           fun r -> Experiment.speedup_errors r ~pair ~fli:true);
+          (Fmt.str "vli_%s%s" a b,
+           fun r -> Experiment.speedup_errors r ~pair ~fli:false) ])
+      pairs
+  in
+  per_benchmark_figure ~title ~unit_label:"speedup error" ~series
+    ~fmt_value:Table.pct t ppf
+
+let figure4 t ppf =
+  speedup_figure
+    ~title:
+      "Figure 4: Speedup error, same platform (unoptimized vs optimized)"
+    ~pairs:Experiment.paper_pairs_same_platform t ppf
+
+let figure5 t ppf =
+  speedup_figure
+    ~title:"Figure 5: Speedup error, cross platform (32-bit vs 64-bit)"
+    ~pairs:Experiment.paper_pairs_cross_platform t ppf
+
+let phase_rows (r : Pipeline.binary_result) =
+  Metrics.top_phases r ~n:3
+  |> List.mapi (fun i (ph : Pipeline.phase_stat) ->
+         [ string_of_int (i + 1);
+           Fmt.str "%.2f" ph.Pipeline.ph_weight;
+           Fmt.str "%.2f" ph.Pipeline.ph_true_cpi;
+           Fmt.str "%.2f" ph.Pipeline.ph_sp_cpi;
+           Table.pct (Metrics.phase_bias ph) ])
+
+let phase_table t ~workload ~labels:(la, lb) ppf =
+  let wr = Experiment.find t workload in
+  let section method_name binaries =
+    let ra = Pipeline.find_binary binaries ~label:la in
+    let rb = Pipeline.find_binary binaries ~label:lb in
+    Fmt.pf ppf "%s / %s:@." workload method_name;
+    let columns =
+      [ { Table.header = "Phase"; align = Table.Right };
+        { header = "Weight"; align = Table.Right };
+        { header = "True CPI"; align = Table.Right };
+        { header = "SP CPI"; align = Table.Right };
+        { header = "CPI Error"; align = Table.Right } ]
+    in
+    Fmt.pf ppf "  %s:@." la;
+    Table.render ~columns ~rows:(phase_rows ra) ppf;
+    Fmt.pf ppf "  %s:@." lb;
+    Table.render ~columns ~rows:(phase_rows rb) ppf
+  in
+  section "VLI (mappable SimPoint)" wr.Experiment.wr_vli.Pipeline.vli_binaries;
+  section "FLI (per-binary SimPoint)" wr.Experiment.wr_fli.Pipeline.fli_binaries
+
+let table2 t ppf =
+  Fmt.pf ppf
+    "Table 2: gcc phase comparison, 32-bit vs 64-bit unoptimized@.";
+  phase_table t ~workload:"gcc" ~labels:("32u", "64u") ppf
+
+let table3 t ppf =
+  Fmt.pf ppf
+    "Table 3: apsi phase comparison, 32-bit vs 64-bit optimized@.";
+  phase_table t ~workload:"apsi" ~labels:("32o", "64o") ppf
+
+(* Relative error of one extrapolated metric, averaged over a workload's
+   four binaries; metrics with tiny true rates are skipped (relative error
+   on a near-zero base is noise, not signal). *)
+let metric_error ~name binaries =
+  let errors =
+    List.filter_map
+      (fun (r : Pipeline.binary_result) ->
+        Array.to_list r.Pipeline.br_metrics
+        |> List.find_opt (fun m -> m.Pipeline.m_name = name)
+        |> Option.map (fun (m : Pipeline.metric) ->
+               if m.Pipeline.m_true_pki < 0.5 then 0.0
+               else
+                 Float.abs (m.Pipeline.m_est_pki -. m.Pipeline.m_true_pki)
+                 /. m.Pipeline.m_true_pki))
+      binaries
+  in
+  Stats.mean (Array.of_list errors)
+
+let metrics_report t ppf =
+  per_benchmark_figure
+    ~title:
+      "Extension: DRAM accesses/KI estimation error (avg across the four \
+       binaries)"
+    ~unit_label:"relative error"
+    ~series:
+      [ ("FLI",
+         fun r -> metric_error ~name:"dram_accesses" r.Experiment.wr_fli.Pipeline.fli_binaries);
+        ("VLI",
+         fun r -> metric_error ~name:"dram_accesses" r.Experiment.wr_vli.Pipeline.vli_binaries) ]
+    ~fmt_value:Table.pct t ppf
+
+let suite_mean f t =
+  Stats.mean (Array.of_list (List.map f t.Experiment.results))
+
+let summary t ppf =
+  let all_pairs =
+    Experiment.paper_pairs_same_platform @ Experiment.paper_pairs_cross_platform
+  in
+  let speedup_mean ~fli =
+    suite_mean
+      (fun r ->
+        Stats.mean
+          (Array.of_list
+             (List.map (fun pair -> Experiment.speedup_errors r ~pair ~fli) all_pairs)))
+      t
+  in
+  Fmt.pf ppf "Suite summary (%d workloads, interval target %d):@."
+    (List.length t.Experiment.results) t.Experiment.target;
+  Fmt.pf ppf "  avg CPI error        FLI %s   VLI %s@."
+    (Table.pct (suite_mean Experiment.avg_cpi_error_fli t))
+    (Table.pct (suite_mean Experiment.avg_cpi_error_vli t));
+  Fmt.pf ppf "  avg speedup error    FLI %s   VLI %s@."
+    (Table.pct (speedup_mean ~fli:true))
+    (Table.pct (speedup_mean ~fli:false));
+  Fmt.pf ppf
+    "  (paper's claim: VLI keeps bias consistent across binaries, so its@.";
+  Fmt.pf ppf
+    "   speedup error is well below FLI's while CPI error stays comparable)@."
+
+let all t ppf =
+  table1 ppf;
+  Fmt.pf ppf "@.";
+  figure1 t ppf;
+  Fmt.pf ppf "@.";
+  figure2 t ppf;
+  Fmt.pf ppf "@.";
+  figure3 t ppf;
+  Fmt.pf ppf "@.";
+  figure4 t ppf;
+  Fmt.pf ppf "@.";
+  figure5 t ppf;
+  Fmt.pf ppf "@.";
+  table2 t ppf;
+  Fmt.pf ppf "@.";
+  table3 t ppf;
+  Fmt.pf ppf "@.";
+  summary t ppf

@@ -1,0 +1,61 @@
+(** Renderers for every table and figure in the paper's evaluation
+    (Section 5), driven by a completed {!Experiment.t}.
+
+    Each figure function prints the same rows/series the paper plots —
+    per-benchmark bars plus the Avg bar — as an ASCII bar chart followed
+    by the numeric table.  Absolute numbers differ from the paper (our
+    substrate is a synthetic simulator); the shapes are the reproduction
+    target (see EXPERIMENTS.md). *)
+
+val table1 : Format.formatter -> unit
+(** The memory-system configuration (static; from
+    {!Cbsp_cache.Hierarchy.paper_table1}). *)
+
+val figure1 : Experiment.t -> Format.formatter -> unit
+(** Number of simulation points, per-binary FLI vs mappable VLI, averaged
+    over the four binaries. *)
+
+val figure2 : Experiment.t -> Format.formatter -> unit
+(** Average VLI interval size per benchmark (FLI is fixed at the target);
+    applu's mapping failure shows as a blown-up bar. *)
+
+val figure3 : Experiment.t -> Format.formatter -> unit
+(** CPI error per benchmark, FLI vs VLI, averaged over the four
+    binaries. *)
+
+val figure4 : Experiment.t -> Format.formatter -> unit
+(** Speedup-estimation error for same-platform pairs (32u->32o,
+    64u->64o), FLI vs VLI. *)
+
+val figure5 : Experiment.t -> Format.formatter -> unit
+(** Speedup-estimation error for cross-platform pairs (32u->64u,
+    32o->64o), FLI vs VLI. *)
+
+val table2 : Experiment.t -> Format.formatter -> unit
+(** gcc phase comparison across 32-bit and 64-bit unoptimized binaries:
+    largest three phases, weight / true CPI / SimPoint CPI / CPI error,
+    for VLI and FLI. *)
+
+val table3 : Experiment.t -> Format.formatter -> unit
+(** apsi phase comparison across 32-bit and 64-bit optimized binaries. *)
+
+val phase_table :
+  Experiment.t ->
+  workload:string ->
+  labels:string * string ->
+  Format.formatter ->
+  unit
+(** The generic form of Tables 2-3 for any workload and binary pair. *)
+
+val metrics_report : Experiment.t -> Format.formatter -> unit
+(** Extension beyond the paper's figures: estimation error of the extra
+    extrapolated metrics (SimPoint step 6's "miss rate, etc.") —
+    per-workload DRAM accesses-per-kilo-instruction error for FLI vs
+    VLI, averaged over the four binaries. *)
+
+val summary : Experiment.t -> Format.formatter -> unit
+(** One-screen digest: suite-average CPI and speedup errors for both
+    methods — the paper's headline claim in four numbers. *)
+
+val all : Experiment.t -> Format.formatter -> unit
+(** Everything, in paper order. *)

@@ -1,0 +1,78 @@
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ~columns ~rows ppf =
+  let n_cols = List.length columns in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (cell row i)))
+          (String.length col.header) rows)
+      columns
+  in
+  let hline =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let render_row cells aligns =
+    let parts =
+      List.mapi
+        (fun i (w, align) -> " " ^ pad align w (cell cells i) ^ " ")
+        (List.combine widths aligns)
+    in
+    "|" ^ String.concat "|" parts ^ "|"
+  in
+  let aligns = List.map (fun c -> c.align) columns in
+  Fmt.pf ppf "%s@." hline;
+  Fmt.pf ppf "%s@."
+    (render_row (List.map (fun c -> c.header) columns) (List.init n_cols (fun _ -> Left)));
+  Fmt.pf ppf "%s@." hline;
+  List.iter (fun row -> Fmt.pf ppf "%s@." (render_row row aligns)) rows;
+  Fmt.pf ppf "%s@." hline
+
+let bar_chart ~title ~unit_label ~series ~labels ?(fmt_value = fun v -> Fmt.str "%.2f" v)
+    ppf =
+  List.iter
+    (fun (name, values) ->
+      if List.length values <> List.length labels then
+        invalid_arg (Printf.sprintf "Table.bar_chart: series %S length mismatch" name))
+    series;
+  let all_values = List.concat_map snd series in
+  let max_value = List.fold_left Float.max 0.0 all_values in
+  let bar_width = 46 in
+  let label_width =
+    List.fold_left (fun acc l -> max acc (String.length l)) 0 labels
+  in
+  let series_width =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 series
+  in
+  Fmt.pf ppf "%s (%s)@." title unit_label;
+  List.iteri
+    (fun li label ->
+      List.iter
+        (fun (name, values) ->
+          let v = List.nth values li in
+          let len =
+            if max_value <= 0.0 then 0
+            else int_of_float (Float.round (v /. max_value *. float_of_int bar_width))
+          in
+          Fmt.pf ppf "  %s %s |%s%s %s@."
+            (pad Left label_width (if name = fst (List.hd series) then label else ""))
+            (pad Left series_width name)
+            (String.make len '#')
+            (String.make (bar_width - len) ' ')
+            (fmt_value v))
+        series)
+    labels
+
+let pct v = Fmt.str "%.2f%%" (100.0 *. v)

@@ -1,0 +1,31 @@
+module Pipeline = Cbsp.Pipeline
+
+let phase_char p =
+  if p < 0 then '?'
+  else if p < 10 then Char.chr (Char.code '0' + p)
+  else if p < 36 then Char.chr (Char.code 'a' + p - 10)
+  else '?'
+
+let render ?(width = 64) ~phase_of ppf =
+  let n = Array.length phase_of in
+  let rec row start =
+    if start < n then begin
+      let stop = min n (start + width) in
+      let buf = Buffer.create width in
+      for i = start to stop - 1 do
+        Buffer.add_char buf (phase_char phase_of.(i))
+      done;
+      Fmt.pf ppf "  %6d  %s@." start (Buffer.contents buf);
+      row stop
+    end
+  in
+  row 0
+
+let render_legend ~phases ppf =
+  Fmt.pf ppf "  %5s %8s %9s %8s@." "phase" "weight" "true CPI" "SP CPI";
+  Array.iter
+    (fun (ph : Pipeline.phase_stat) ->
+      Fmt.pf ppf "     %c  %8.3f %9.3f %8.3f@."
+        (phase_char ph.Pipeline.ph_id)
+        ph.Pipeline.ph_weight ph.Pipeline.ph_true_cpi ph.Pipeline.ph_sp_cpi)
+    phases

@@ -1,0 +1,16 @@
+(** Phase timeline: the classic SimPoint visualization of a program's
+    execution as a strip of per-interval phase labels, showing the
+    repetitive structure clustering discovers. *)
+
+val phase_char : int -> char
+(** Stable printable label per phase id: 0-9 then a-z, ['?'] beyond. *)
+
+val render :
+  ?width:int -> phase_of:int array -> Format.formatter -> unit
+(** Print the label strip, wrapped at [width] (default 64) characters,
+    with interval offsets in the left margin. *)
+
+val render_legend :
+  phases:Cbsp.Pipeline.phase_stat array -> Format.formatter -> unit
+(** One line per phase: label char, weight, true CPI, representative
+    CPI. *)

@@ -1,0 +1,1 @@
+lib/simpoint/bic.ml: Array Cbsp_util Float Kmeans List

@@ -1,0 +1,1 @@
+lib/simpoint/bic.mli: Kmeans

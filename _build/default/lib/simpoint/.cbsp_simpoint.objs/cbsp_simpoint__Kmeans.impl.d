@@ -1,0 +1,1 @@
+lib/simpoint/kmeans.ml: Array Cbsp_util

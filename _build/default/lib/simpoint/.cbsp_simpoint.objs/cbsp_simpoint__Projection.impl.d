@@ -1,0 +1,1 @@
+lib/simpoint/projection.ml: Array Cbsp_util

@@ -1,0 +1,1 @@
+lib/simpoint/simpoint.ml: Array Bic Cbsp_util Float Hashtbl Kmeans List Projection

@@ -1,0 +1,171 @@
+module Rng = Cbsp_util.Rng
+module Stats = Cbsp_util.Stats
+
+type result = {
+  k : int;
+  assignments : int array;
+  centroids : float array array;
+  distortion : float;
+  iterations : int;
+}
+
+let check_args ~k ~weights ~points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans.run: no points";
+  if Array.length weights <> n then invalid_arg "Kmeans.run: weights/points length mismatch";
+  Array.iter (fun w -> if w <= 0.0 then invalid_arg "Kmeans.run: non-positive weight") weights;
+  if k < 1 || k > n then invalid_arg "Kmeans.run: k out of range";
+  let dim = Array.length points.(0) in
+  Array.iter
+    (fun p -> if Array.length p <> dim then invalid_arg "Kmeans.run: ragged points")
+    points
+
+(* Weighted k-means++: first centre weight-proportional, subsequent centres
+   proportional to weight * D²(point, nearest chosen centre). *)
+let seed_plus_plus rng ~k ~weights ~points =
+  let n = Array.length points in
+  let centroids = Array.make k [||] in
+  let d2 = Array.make n infinity in
+  let pick_weighted masses =
+    let total = Stats.sum masses in
+    if total <= 0.0 then Rng.int rng ~bound:n
+    else begin
+      let target = Rng.float rng *. total in
+      let rec scan i acc =
+        if i >= n - 1 then n - 1
+        else begin
+          let acc = acc +. masses.(i) in
+          if acc > target then i else scan (i + 1) acc
+        end
+      in
+      scan 0 0.0
+    end
+  in
+  let first = pick_weighted weights in
+  centroids.(0) <- Array.copy points.(first);
+  for c = 1 to k - 1 do
+    for i = 0 to n - 1 do
+      let d = Stats.sq_distance points.(i) centroids.(c - 1) in
+      if d < d2.(i) then d2.(i) <- d
+    done;
+    let masses = Array.init n (fun i -> weights.(i) *. d2.(i)) in
+    let next = pick_weighted masses in
+    centroids.(c) <- Array.copy points.(next)
+  done;
+  centroids
+
+let assign_all ~centroids ~points ~assignments =
+  let k = Array.length centroids in
+  let changed = ref false in
+  Array.iteri
+    (fun i p ->
+      let best = ref 0 and best_d = ref (Stats.sq_distance p centroids.(0)) in
+      for c = 1 to k - 1 do
+        let d = Stats.sq_distance p centroids.(c) in
+        if d < !best_d then begin
+          best_d := d;
+          best := c
+        end
+      done;
+      if assignments.(i) <> !best then begin
+        assignments.(i) <- !best;
+        changed := true
+      end)
+    points;
+  !changed
+
+let recompute_centroids ~k ~weights ~points ~assignments ~centroids =
+  let dim = Array.length points.(0) in
+  let sums = Array.init k (fun _ -> Array.make dim 0.0) in
+  let mass = Array.make k 0.0 in
+  Array.iteri
+    (fun i p ->
+      let c = assignments.(i) in
+      let w = weights.(i) in
+      mass.(c) <- mass.(c) +. w;
+      let s = sums.(c) in
+      for j = 0 to dim - 1 do
+        s.(j) <- s.(j) +. (w *. p.(j))
+      done)
+    points;
+  (* Reseed empty clusters on the point with the largest weighted distance
+     to its current centroid. *)
+  for c = 0 to k - 1 do
+    if mass.(c) = 0.0 then begin
+      let worst = ref 0 and worst_d = ref neg_infinity in
+      Array.iteri
+        (fun i p ->
+          let d = weights.(i) *. Stats.sq_distance p centroids.(assignments.(i)) in
+          if d > !worst_d then begin
+            worst_d := d;
+            worst := i
+          end)
+        points;
+      centroids.(c) <- Array.copy points.(!worst)
+    end
+    else begin
+      let s = sums.(c) in
+      for j = 0 to dim - 1 do
+        s.(j) <- s.(j) /. mass.(c)
+      done;
+      centroids.(c) <- s
+    end
+  done
+
+let total_distortion ~weights ~points ~assignments ~centroids =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p -> acc := !acc +. (weights.(i) *. Stats.sq_distance p centroids.(assignments.(i))))
+    points;
+  !acc
+
+let run_once rng ~max_iters ~k ~weights ~points =
+  let n = Array.length points in
+  let centroids = seed_plus_plus rng ~k ~weights ~points in
+  let assignments = Array.make n (-1) in
+  let iterations = ref 0 in
+  let continue = ref true in
+  while !continue && !iterations < max_iters do
+    let changed = assign_all ~centroids ~points ~assignments in
+    if changed then begin
+      recompute_centroids ~k ~weights ~points ~assignments ~centroids;
+      incr iterations
+    end
+    else continue := false
+  done;
+  (* Ensure assignments reflect the final centroids. *)
+  let (_ : bool) = assign_all ~centroids ~points ~assignments in
+  let distortion = total_distortion ~weights ~points ~assignments ~centroids in
+  { k; assignments; centroids; distortion; iterations = !iterations }
+
+let run ?(seed = 493) ?(restarts = 5) ?(max_iters = 100) ~k ~weights ~points () =
+  check_args ~k ~weights ~points;
+  if restarts < 1 then invalid_arg "Kmeans.run: restarts must be >= 1";
+  let rng = Rng.create ~seed in
+  let best = ref (run_once rng ~max_iters ~k ~weights ~points) in
+  for _ = 2 to restarts do
+    let candidate = run_once rng ~max_iters ~k ~weights ~points in
+    if candidate.distortion < !best.distortion then best := candidate
+  done;
+  !best
+
+let cluster_weights result ~weights =
+  let totals = Array.make result.k 0.0 in
+  Array.iteri
+    (fun i c -> totals.(c) <- totals.(c) +. weights.(i))
+    result.assignments;
+  totals
+
+let closest_to_centroid result ~points =
+  let best = Array.make result.k (-1) in
+  let best_d = Array.make result.k infinity in
+  Array.iteri
+    (fun i p ->
+      let c = result.assignments.(i) in
+      let d = Stats.sq_distance p result.centroids.(c) in
+      if d < best_d.(c) then begin
+        best_d.(c) <- d;
+        best.(c) <- i
+      end)
+    points;
+  best

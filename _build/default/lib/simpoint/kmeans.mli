@@ -1,0 +1,44 @@
+(** Weighted k-means (SimPoint step 3).
+
+    SimPoint 3.0's variable-length-interval support weights every vector
+    by the instructions its interval executed, so long intervals pull
+    centroids harder and cluster sizes are measured in instructions, not
+    interval counts.  Fixed-length intervals are the uniform-weight
+    special case.
+
+    Seeding is weighted k-means++ (D² sampling); Lloyd iterations follow
+    until assignments stabilize or [max_iters] is hit.  Clusters that
+    empty out are reseeded on the point farthest from its centroid, so the
+    result always has exactly the k requested — unless there are fewer
+    distinct points than k, in which case duplicate centroids are
+    harmless. *)
+
+type result = {
+  k : int;
+  assignments : int array;        (** Point index -> cluster in [0,k). *)
+  centroids : float array array;  (** [k] centroids. *)
+  distortion : float;             (** Weighted sum of squared distances
+                                      to assigned centroids. *)
+  iterations : int;               (** Lloyd iterations of the best run. *)
+}
+
+val run :
+  ?seed:int ->
+  ?restarts:int ->
+  ?max_iters:int ->
+  k:int ->
+  weights:float array ->
+  points:float array array ->
+  unit ->
+  result
+(** Best-of-[restarts] (default 5) by distortion.  All weights must be
+    > 0 and [1 <= k <= Array.length points].
+    @raise Invalid_argument on bad arguments. *)
+
+val cluster_weights : result -> weights:float array -> float array
+(** Total weight per cluster; sums to the total input weight. *)
+
+val closest_to_centroid : result -> points:float array array -> int array
+(** Per cluster, the index of the member point nearest its centroid —
+    SimPoint's representative choice.  Entry is [-1] for an empty cluster
+    (possible only when there were duplicate centroids). *)

@@ -1,0 +1,37 @@
+module Rng = Cbsp_util.Rng
+
+type t = { matrix : float array array; in_dim : int; out_dim : int }
+(* matrix.(j) is the j-th input dimension's row of [out_dim] coefficients:
+   projection is a single pass over the input's nonzero entries, which is
+   fast for sparse BBVs. *)
+
+let create ~seed ~in_dim ~out_dim =
+  if in_dim <= 0 || out_dim <= 0 then
+    invalid_arg "Projection.create: dimensions must be positive";
+  let rng = Rng.create ~seed in
+  let matrix =
+    Array.init in_dim (fun _ ->
+        Array.init out_dim (fun _ -> (2.0 *. Rng.float rng) -. 1.0))
+  in
+  { matrix; in_dim; out_dim }
+
+let in_dim t = t.in_dim
+
+let out_dim t = t.out_dim
+
+let apply t v =
+  if Array.length v <> t.in_dim then
+    invalid_arg "Projection.apply: dimension mismatch";
+  let out = Array.make t.out_dim 0.0 in
+  for j = 0 to t.in_dim - 1 do
+    let x = v.(j) in
+    if x <> 0.0 then begin
+      let row = t.matrix.(j) in
+      for i = 0 to t.out_dim - 1 do
+        out.(i) <- out.(i) +. (x *. row.(i))
+      done
+    end
+  done;
+  out
+
+let apply_all t vs = Array.map (apply t) vs

@@ -1,0 +1,21 @@
+(** Random linear projection (SimPoint step 2).
+
+    Basic block vectors have one dimension per static block — hundreds of
+    dimensions — which makes k-means slow and distance concentration
+    worse.  SimPoint projects to ~15 dimensions with a random matrix;
+    by the Johnson-Lindenstrauss property, pairwise distances (all
+    clustering ever looks at) are approximately preserved. *)
+
+type t
+
+val create : seed:int -> in_dim:int -> out_dim:int -> t
+(** Entries drawn uniformly from [-1, 1], deterministically from [seed].
+    @raise Invalid_argument unless [0 < out_dim] and [0 < in_dim]. *)
+
+val in_dim : t -> int
+val out_dim : t -> int
+
+val apply : t -> float array -> float array
+(** @raise Invalid_argument if the vector's length is not [in_dim]. *)
+
+val apply_all : t -> float array array -> float array array

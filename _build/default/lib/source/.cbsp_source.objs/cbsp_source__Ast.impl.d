@@ -1,0 +1,1 @@
+lib/source/ast.ml: Array Fmt List Printf String

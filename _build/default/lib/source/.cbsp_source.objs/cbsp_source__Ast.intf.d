@@ -1,0 +1,1 @@
+lib/source/ast.mli: Format

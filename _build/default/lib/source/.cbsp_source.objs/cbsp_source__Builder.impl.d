@@ -1,0 +1,1 @@
+lib/source/builder.ml: Array Ast List Validate

@@ -1,0 +1,1 @@
+lib/source/builder.mli: Ast

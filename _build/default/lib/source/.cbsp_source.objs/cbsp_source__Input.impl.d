@@ -1,0 +1,1 @@
+lib/source/input.ml: Ast Cbsp_util

@@ -1,0 +1,1 @@
+lib/source/input.mli: Ast

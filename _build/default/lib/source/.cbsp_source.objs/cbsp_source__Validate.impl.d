@@ -1,0 +1,1 @@
+lib/source/validate.ml: Array Ast Hashtbl List Printf

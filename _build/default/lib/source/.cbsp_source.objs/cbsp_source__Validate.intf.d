@@ -1,0 +1,1 @@
+lib/source/validate.mli: Ast

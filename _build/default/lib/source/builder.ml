@@ -1,0 +1,82 @@
+type t = {
+  name : string;
+  mutable next_line : int;
+  mutable arrays_rev : Ast.array_decl list;
+  mutable n_arrays : int;
+  mutable procs_rev : Ast.proc list;
+}
+
+let create ~name =
+  { name; next_line = 1; arrays_rev = []; n_arrays = 0; procs_rev = [] }
+
+let fresh_line t =
+  let line = t.next_line in
+  t.next_line <- line + 1;
+  line
+
+let add_array t ~name ~kind ~length =
+  if length <= 0 then invalid_arg "Builder: array length must be positive";
+  let id = t.n_arrays in
+  let decl =
+    { Ast.arr_id = id; arr_name = name; arr_kind = kind; arr_length = length }
+  in
+  t.arrays_rev <- decl :: t.arrays_rev;
+  t.n_arrays <- id + 1;
+  id
+
+let data_array t ~name ~elem_bytes ~length =
+  add_array t ~name ~kind:(Ast.Data { elem_bytes }) ~length
+
+let pointer_array t ~name ~length = add_array t ~name ~kind:Ast.Pointer ~length
+
+let declared_arrays t =
+  List.rev_map (fun d -> (d.Ast.arr_id, d.Ast.arr_length)) t.arrays_rev
+
+let access ~arr ~pattern ~count ~write_ratio =
+  if count < 0 then invalid_arg "Builder: negative access count";
+  if write_ratio < 0.0 || write_ratio > 1.0 then
+    invalid_arg "Builder: write_ratio out of [0,1]";
+  { Ast.acc_array = arr; acc_pattern = pattern; acc_count = count;
+    acc_write_ratio = write_ratio }
+
+let seq ?(stride = 1) ?(write_ratio = 0.3) ~arr ~count () =
+  access ~arr ~pattern:(Ast.Seq { stride }) ~count ~write_ratio
+
+let rand ?(write_ratio = 0.2) ~arr ~count () =
+  access ~arr ~pattern:Ast.Rand ~count ~write_ratio
+
+let chase ~arr ~count () =
+  access ~arr ~pattern:Ast.Chase ~count ~write_ratio:0.0
+
+let hot ?(window = 64) ?(write_ratio = 0.3) ~arr ~count () =
+  access ~arr ~pattern:(Ast.Hot { window }) ~count ~write_ratio
+
+let work t ~insts ?(accesses = []) () =
+  if insts <= 0 then invalid_arg "Builder: work insts must be positive";
+  Ast.Work { work_line = fresh_line t; insts; accesses }
+
+let call t callee = Ast.Call { call_line = fresh_line t; callee }
+
+let loop t ~trips ?(unrollable = false) ?(splittable = false) body =
+  Ast.Loop { loop_line = fresh_line t; trips; body; unrollable; splittable }
+
+let select t arms =
+  if Array.length arms = 0 then invalid_arg "Builder: select needs arms";
+  Ast.Select { sel_line = fresh_line t; arms }
+
+let proc t ~name ?(inline_hint = false) body =
+  let p =
+    { Ast.proc_name = name; proc_line = fresh_line t; proc_body = body;
+      inline_hint }
+  in
+  t.procs_rev <- p :: t.procs_rev
+
+let finish t ~main =
+  let program =
+    { Ast.prog_name = t.name;
+      arrays = Array.of_list (List.rev t.arrays_rev);
+      procs = List.rev t.procs_rev;
+      main }
+  in
+  Validate.check program;
+  program

@@ -1,0 +1,51 @@
+(** Imperative builder for workload programs.
+
+    Source lines are allocated automatically and uniquely, in declaration
+    order — the property the cross-binary loop matcher depends on.  Typical
+    use:
+
+    {[
+      let b = Builder.create ~name:"swim" in
+      let grid = Builder.data_array b ~name:"grid" ~elem_bytes:8 ~length:200_000 in
+      Builder.proc b ~name:"main"
+        [ Builder.loop b ~trips:(Scaled { base = 0; per_scale = 40 })
+            [ Builder.work b ~insts:120
+                ~accesses:[ Builder.seq ~arr:grid ~count:16 () ] ] ];
+      Builder.finish b ~main:"main"
+    ]} *)
+
+type t
+
+val create : name:string -> t
+
+val data_array : t -> name:string -> elem_bytes:int -> length:int -> int
+(** Declare a fixed-element-size array; returns its id. *)
+
+val pointer_array : t -> name:string -> length:int -> int
+(** Declare a pointer array (4B on 32-bit ISAs, 8B on 64-bit). *)
+
+val declared_arrays : t -> (int * int) list
+(** (id, length) of every array declared so far, in declaration order. *)
+
+val seq : ?stride:int -> ?write_ratio:float -> arr:int -> count:int -> unit -> Ast.access
+val rand : ?write_ratio:float -> arr:int -> count:int -> unit -> Ast.access
+val chase : arr:int -> count:int -> unit -> Ast.access
+val hot : ?window:int -> ?write_ratio:float -> arr:int -> count:int -> unit -> Ast.access
+
+val work : t -> insts:int -> ?accesses:Ast.access list -> unit -> Ast.stmt
+val call : t -> string -> Ast.stmt
+val loop :
+  t ->
+  trips:Ast.trips ->
+  ?unrollable:bool ->
+  ?splittable:bool ->
+  Ast.stmt list ->
+  Ast.stmt
+val select : t -> Ast.stmt list array -> Ast.stmt
+
+val proc : t -> name:string -> ?inline_hint:bool -> Ast.stmt list -> unit
+(** Declare a procedure.  Declaration order is preserved. *)
+
+val finish : t -> main:string -> Ast.program
+(** Validates (see {!Validate.check}) and returns the program.
+    @raise Validate.Invalid if the program is malformed. *)

@@ -1,0 +1,127 @@
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let proc_names program =
+  List.map (fun p -> p.Ast.proc_name) program.Ast.procs
+
+let rec stmt_calls stmt =
+  match (stmt : Ast.stmt) with
+  | Work _ -> []
+  | Call { callee; _ } -> [ callee ]
+  | Loop l -> List.concat_map stmt_calls l.body
+  | Select s ->
+    Array.to_list s.arms |> List.concat_map (List.concat_map stmt_calls)
+
+let callees_of program name =
+  let p = Ast.find_proc program name in
+  List.concat_map stmt_calls p.proc_body
+
+let check_call_graph program =
+  (* DFS with colouring; also reject unknown callees. *)
+  let names = proc_names program in
+  let state = Hashtbl.create 16 in
+  let rec visit name =
+    match Hashtbl.find_opt state name with
+    | Some `Done -> ()
+    | Some `Active -> fail "recursive call cycle through procedure %S" name
+    | None ->
+      if not (List.mem name names) then fail "call to undeclared procedure %S" name;
+      Hashtbl.replace state name `Active;
+      List.iter visit (callees_of program name);
+      Hashtbl.replace state name `Done
+  in
+  List.iter visit names
+
+let check_lines program =
+  let seen = Hashtbl.create 64 in
+  let add line what =
+    match Hashtbl.find_opt seen line with
+    | Some prev -> fail "duplicate source line %d (%s and %s)" line prev what
+    | None -> Hashtbl.add seen line what
+  in
+  Ast.iter_stmts
+    (function
+      | Ast.Work w -> add w.work_line "work"
+      | Ast.Call { call_line; _ } -> add call_line "call"
+      | Ast.Loop l -> add l.loop_line "loop"
+      | Ast.Select s -> add s.sel_line "select")
+    program;
+  List.iter (fun p -> add p.Ast.proc_line "proc") program.Ast.procs
+
+let check_accesses program =
+  let n = Array.length program.Ast.arrays in
+  Ast.iter_stmts
+    (function
+      | Ast.Work w ->
+        List.iter
+          (fun a ->
+            if a.Ast.acc_array < 0 || a.Ast.acc_array >= n then
+              fail "work at line %d references undeclared array %d" w.work_line
+                a.Ast.acc_array;
+            match a.Ast.acc_pattern with
+            | Ast.Seq { stride } ->
+              if stride <= 0 then
+                fail "work at line %d has non-positive stride" w.work_line
+            | Ast.Hot { window } ->
+              if window <= 0 then
+                fail "work at line %d has non-positive hot window" w.work_line
+            | Ast.Rand | Ast.Chase -> ())
+          w.accesses
+      | Ast.Call _ | Ast.Loop _ | Ast.Select _ -> ())
+    program
+
+let check_trips program =
+  Ast.iter_stmts
+    (function
+      | Ast.Loop l -> begin
+        match l.trips with
+        | Ast.Fixed n ->
+          if n < 0 then fail "loop at line %d has negative trips" l.loop_line
+        | Ast.Scaled { base; per_scale } ->
+          if base < 0 || per_scale < 0 then
+            fail "loop at line %d has negative scaled trips" l.loop_line
+        | Ast.Jitter { mean; spread } ->
+          if mean < 0 || spread < 0 then
+            fail "loop at line %d has negative jitter trips" l.loop_line
+      end
+      | Ast.Work _ | Ast.Call _ | Ast.Select _ -> ())
+    program
+
+let check_empty_bodies program =
+  List.iter
+    (fun p ->
+      if p.Ast.proc_body = [] then fail "procedure %S has an empty body" p.Ast.proc_name)
+    program.Ast.procs
+
+let check program =
+  let names = proc_names program in
+  if names = [] then fail "program %S has no procedures" program.Ast.prog_name;
+  let rec dup = function
+    | [] -> ()
+    | n :: rest -> if List.mem n rest then fail "duplicate procedure %S" n else dup rest
+  in
+  dup names;
+  if not (List.mem program.Ast.main names) then
+    fail "entry procedure %S is not declared" program.Ast.main;
+  check_call_graph program;
+  check_lines program;
+  check_accesses program;
+  check_trips program;
+  check_empty_bodies program
+
+let call_depth program =
+  let memo = Hashtbl.create 16 in
+  let rec depth name =
+    match Hashtbl.find_opt memo name with
+    | Some d -> d
+    | None ->
+      let d =
+        match callees_of program name with
+        | [] -> 0
+        | cs -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 cs
+      in
+      Hashtbl.replace memo name d;
+      d
+  in
+  depth program.Ast.main

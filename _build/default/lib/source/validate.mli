@@ -1,0 +1,22 @@
+(** Static well-formedness checks for workload programs.
+
+    The executor and compiler assume these invariants; [check] enforces
+    them once at construction time:
+
+    - the entry procedure exists and every [Call] targets a declared
+      procedure;
+    - the call graph is acyclic (the language has no recursion, so the
+      executor terminates);
+    - every access names a declared array;
+    - all statement lines are distinct (lines are the cross-binary
+      identity of loops);
+    - loop trip specifications cannot be negative at any scale. *)
+
+exception Invalid of string
+
+val check : Ast.program -> unit
+(** @raise Invalid with a human-readable reason on the first violation. *)
+
+val call_depth : Ast.program -> int
+(** Longest path in the call graph, in edges; 0 for a program whose main
+    never calls.  Useful for sizing executor stacks in tests. *)

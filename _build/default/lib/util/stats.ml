@@ -1,0 +1,98 @@
+let sum xs =
+  (* Kahan summation: experiment aggregates add millions of small interval
+     contributions, where naive summation visibly drifts. *)
+  let total = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    xs;
+  !total
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let weighted_mean ~weights xs =
+  let n = Array.length xs in
+  if Array.length weights <> n then invalid_arg "Stats.weighted_mean: length mismatch";
+  let wsum = sum weights in
+  if wsum = 0.0 then invalid_arg "Stats.weighted_mean: zero total weight";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) *. xs.(i))
+  done;
+  !acc /. wsum
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      xs;
+    !acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let geomean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.geomean: empty";
+  let acc = ref 0.0 in
+  Array.iter
+    (fun x ->
+      if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+      acc := !acc +. log x)
+    xs;
+  exp (!acc /. float_of_int (Array.length xs))
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs ~p =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let ys = sorted_copy xs in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then ys.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (ys.(lo) *. (1.0 -. frac)) +. (ys.(hi) *. frac)
+    end
+  end
+
+let median xs = percentile xs ~p:50.0
+
+let relative_error ~truth ~estimate =
+  if truth = 0.0 then invalid_arg "Stats.relative_error: zero truth";
+  Float.abs (truth -. estimate) /. Float.abs truth
+
+let signed_relative_error ~truth ~estimate =
+  if truth = 0.0 then invalid_arg "Stats.signed_relative_error: zero truth";
+  (estimate -. truth) /. truth
+
+let normalize xs =
+  let total = sum xs in
+  if total = 0.0 then invalid_arg "Stats.normalize: zero sum";
+  Array.map (fun x -> x /. total) xs
+
+let sq_distance a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Stats.sq_distance: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc

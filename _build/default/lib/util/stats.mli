@@ -1,0 +1,43 @@
+(** Small descriptive-statistics toolkit used throughout the evaluation
+    harness: means, deviations, weighted aggregates and the error metrics
+    the paper reports (relative CPI error, speedup error). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val weighted_mean : weights:float array -> float array -> float
+(** [weighted_mean ~weights xs] is [sum w_i x_i / sum w_i].
+    @raise Invalid_argument on length mismatch or zero total weight. *)
+
+val variance : float array -> float
+(** Population variance; 0 for arrays of length < 2. *)
+
+val stddev : float array -> float
+
+val geomean : float array -> float
+(** Geometric mean of strictly-positive values.
+    @raise Invalid_argument if any value is <= 0. *)
+
+val median : float array -> float
+(** Median (does not modify the input); 0 for the empty array. *)
+
+val percentile : float array -> p:float -> float
+(** Linear-interpolation percentile, [p] in [0, 100]. *)
+
+val relative_error : truth:float -> estimate:float -> float
+(** [|truth - estimate| / |truth|]; the paper's CPI-error and speedup-error
+    metric.  @raise Invalid_argument if [truth = 0]. *)
+
+val signed_relative_error : truth:float -> estimate:float -> float
+(** [(estimate - truth) / truth]; used for the per-phase bias columns of
+    Tables 2 and 3, where the sign of the bias matters. *)
+
+val sum : float array -> float
+(** Numerically-stable (Kahan) sum. *)
+
+val normalize : float array -> float array
+(** Scale so elements sum to 1.  @raise Invalid_argument if the sum is 0. *)
+
+val sq_distance : float array -> float array -> float
+(** Squared Euclidean distance.  @raise Invalid_argument on length
+    mismatch. *)

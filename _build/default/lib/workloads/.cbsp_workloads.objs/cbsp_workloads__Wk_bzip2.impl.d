@@ -1,0 +1,1 @@
+lib/workloads/wk_bzip2.ml: Cbsp_source Wk_common

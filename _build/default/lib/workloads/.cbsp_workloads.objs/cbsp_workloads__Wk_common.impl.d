@@ -1,0 +1,1 @@
+lib/workloads/wk_common.ml: Cbsp_source List

@@ -1,0 +1,1 @@
+lib/workloads/wk_fma3d.ml: Cbsp_source Wk_common

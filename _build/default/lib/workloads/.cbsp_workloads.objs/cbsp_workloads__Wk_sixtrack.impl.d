@@ -1,0 +1,1 @@
+lib/workloads/wk_sixtrack.ml: Cbsp_source Wk_common

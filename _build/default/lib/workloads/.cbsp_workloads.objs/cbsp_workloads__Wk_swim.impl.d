@@ -1,0 +1,1 @@
+lib/workloads/wk_swim.ml: Cbsp_source Wk_common

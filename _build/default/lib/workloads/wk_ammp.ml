@@ -1,0 +1,53 @@
+(* ammp: molecular dynamics.  Time-step loop alternating a neighbor-list
+   rebuild (random gather over the atom array) with several force/integrate
+   steps (streaming over atoms, random neighbor lookups).  Working set
+   straddles L2/L3. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"ammp" in
+  let atoms = B.data_array b ~name:"atoms" ~elem_bytes:8 ~length:48_000 in
+  let neighbors = B.pointer_array b ~name:"neighbors" ~length:160_000 in
+  let forces = B.data_array b ~name:"forces" ~elem_bytes:8 ~length:48_000 in
+  B.proc b ~name:"build_neighbors"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 520; spread = 30 })
+        [ B.work b ~insts:90
+            ~accesses:
+              [ B.rand ~arr:atoms ~count:5 ();
+                B.seq ~arr:neighbors ~count:4 ~write_ratio:0.8 () ]
+            () ] ];
+  B.proc b ~name:"compute_forces"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 420; spread = 25 })
+        [ B.work b ~insts:130
+            ~accesses:
+              [ B.seq ~arr:atoms ~count:6 ();
+                B.rand ~arr:neighbors ~count:5 ();
+                B.seq ~arr:forces ~count:3 ~write_ratio:0.9 () ]
+            () ] ];
+  (* Bonded terms are a separate, cheaper kernel over a short topology
+     list: high locality, distinct from the nonbonded gather above. *)
+  B.proc b ~name:"bonded_forces"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 180; spread = 12 }) ~unrollable:true
+        [ B.work b ~insts:95
+            ~accesses:
+              [ B.hot ~arr:atoms ~window:128 ~count:4 ();
+                B.seq ~arr:forces ~count:2 ~write_ratio:0.8 () ]
+            () ] ];
+  B.proc b ~name:"integrate" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 300; spread = 18 }) ~unrollable:true
+        [ B.work b ~insts:60
+            ~accesses:
+              [ B.seq ~arr:atoms ~count:3 ~write_ratio:0.5 ();
+                B.seq ~arr:forces ~count:3 () ]
+            () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 2; per_scale = 2 })
+        [ B.call b "build_neighbors";
+          B.loop b ~trips:(Ast.Fixed 8)
+            [ B.call b "compute_forces"; B.call b "bonded_forces";
+              B.call b "integrate" ] ] ];
+  B.finish b ~main:"main"

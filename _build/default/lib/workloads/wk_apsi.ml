@@ -1,0 +1,45 @@
+(* apsi: mesoscale air-pollution model.  Each time step runs several
+   distinct kernels over 3D fields (advection, diffusion, chemistry,
+   deposition) with clearly different memory intensity, giving the
+   multi-phase CPI spread Table 3 examines. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"apsi" in
+  let wind = B.data_array b ~name:"wind" ~elem_bytes:8 ~length:120_000 in
+  let conc = B.data_array b ~name:"conc" ~elem_bytes:8 ~length:120_000 in
+  let chem = B.data_array b ~name:"chem" ~elem_bytes:8 ~length:2_000 in
+  let terrain = B.data_array b ~name:"terrain" ~elem_bytes:8 ~length:30_000 in
+  B.proc b ~name:"advection"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 420; spread = 25 })
+        [ B.work b ~insts:110
+            ~accesses:
+              [ B.seq ~arr:wind ~count:6 ();
+                B.seq ~arr:conc ~count:5 ~write_ratio:0.5 () ]
+            () ] ];
+  B.proc b ~name:"diffusion"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 380; spread = 22 })
+        [ B.work b ~insts:95
+            ~accesses:
+              [ B.seq ~arr:conc ~stride:3 ~count:8 ~write_ratio:0.4 ();
+                B.seq ~arr:terrain ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"chemistry" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 500; spread = 30 }) ~unrollable:true
+        [ B.work b ~insts:150 ~accesses:[ B.hot ~arr:chem ~count:4 () ] () ] ];
+  B.proc b ~name:"deposition"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 260; spread = 15 })
+        [ B.work b ~insts:70
+            ~accesses:
+              [ B.rand ~arr:conc ~count:5 ();
+                B.seq ~arr:terrain ~count:3 ~write_ratio:0.6 () ]
+            () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 3; per_scale = 3 })
+        [ B.call b "advection"; B.call b "diffusion"; B.call b "chemistry";
+          B.call b "deposition" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,38 @@
+(* art: adaptive-resonance-theory image recognition.  Small (L1/L2
+   resident) weight matrices scanned repeatedly — compute-bound with a
+   two-mode structure: a scan/match pass over the F1 layer and a learning
+   pass that updates the winning category's weights. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"art" in
+  let f1 = B.data_array b ~name:"f1_layer" ~elem_bytes:8 ~length:3_000 in
+  let weights = B.data_array b ~name:"weights" ~elem_bytes:8 ~length:24_000 in
+  let image = B.data_array b ~name:"image" ~elem_bytes:4 ~length:50_000 in
+  B.proc b ~name:"scan_match"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 350; spread = 20 })
+        [ B.work b ~insts:140
+            ~accesses:
+              [ B.seq ~arr:weights ~count:6 (); B.hot ~arr:f1 ~count:4 () ]
+            () ] ];
+  B.proc b ~name:"learn"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 200; spread = 12 }) ~unrollable:true
+        [ B.work b ~insts:90
+            ~accesses:
+              [ B.seq ~arr:weights ~count:5 ~write_ratio:0.7 ();
+                B.hot ~arr:f1 ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"load_image" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 150; spread = 10 })
+        [ B.work b ~insts:50 ~accesses:[ B.seq ~arr:image ~count:6 () ] () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 6; per_scale = 6 })
+        [ B.call b "load_image";
+          B.loop b ~trips:(Ast.Jitter { mean = 3; spread = 2 })
+            [ B.call b "scan_match" ];
+          B.call b "learn" ] ];
+  B.finish b ~main:"main"

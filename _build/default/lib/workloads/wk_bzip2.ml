@@ -1,0 +1,47 @@
+(* bzip2: block-sorting compression.  Per input block: a sort phase
+   (random-heavy suffix comparisons over the block), a Huffman/MTF phase
+   (hot code tables), and a verify/decompress phase — sharply different
+   behaviours alternating at block granularity. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"bzip2" in
+  let block = B.data_array b ~name:"block" ~elem_bytes:4 ~length:220_000 in
+  let suffix = B.pointer_array b ~name:"suffix_ptrs" ~length:220_000 in
+  let tables = B.data_array b ~name:"huff_tables" ~elem_bytes:4 ~length:4_000 in
+  (* Run-length pre-pass: a cheap streaming scan that dedups runs before
+     the expensive sort (bzip2's RLE stage). *)
+  B.proc b ~name:"rle_prepass" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 240; spread = 40 }) ~unrollable:true
+        [ B.work b ~insts:40
+            ~accesses:[ B.seq ~arr:block ~count:5 ~write_ratio:0.3 () ]
+            () ] ];
+  B.proc b ~name:"block_sort"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 520; spread = 140 })
+        [ B.work b ~insts:100
+            ~accesses:
+              [ B.rand ~arr:suffix ~count:6 ~write_ratio:0.3 ();
+                B.rand ~arr:block ~count:4 () ]
+            () ] ];
+  B.proc b ~name:"mtf_huffman"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 420; spread = 25 })
+        [ B.work b ~insts:85
+            ~accesses:
+              [ B.seq ~arr:block ~count:5 (); B.hot ~arr:tables ~count:5 () ]
+            () ] ];
+  B.proc b ~name:"unsort_verify"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 300; spread = 18 }) ~unrollable:true
+        [ B.work b ~insts:60
+            ~accesses:
+              [ B.seq ~arr:block ~count:4 ~write_ratio:0.5 ();
+                B.hot ~arr:tables ~count:2 () ]
+            () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 5; per_scale = 5 })
+        [ B.call b "rle_prepass"; B.call b "block_sort"; B.call b "mtf_huffman";
+          B.call b "unsort_verify" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,27 @@
+(* Shared workload scaffolding.
+
+   Every suite program starts with an [init_data] procedure that walks all
+   of its arrays once with writes — the analogue of a SPEC program reading
+   its input files and building its data structures.  This matters at our
+   scaled-down run lengths: first-touch misses then happen inside a
+   dedicated init phase with its own basic block vector (SimPoint gives it
+   its own cluster and an honest small weight), instead of contaminating
+   the steady-state clusters whose representatives the estimates rest on. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let elems_per_iteration = 32
+
+(* Declare an "init_data" procedure touching every array declared so far.
+   Call it from the first statement of main. *)
+let add_init_proc b =
+  let walk (arr, length) =
+    let trips = max 1 ((length + elems_per_iteration - 1) / elems_per_iteration) in
+    B.loop b ~trips:(Ast.Fixed trips)
+      [ B.work b ~insts:14
+          ~accesses:
+            [ B.seq ~arr ~count:elems_per_iteration ~write_ratio:1.0 () ]
+          () ]
+  in
+  B.proc b ~name:"init_data" (List.map walk (B.declared_arrays b))

@@ -1,0 +1,48 @@
+(* crafty: chess search.  Highly irregular control flow — per node the
+   search either probes the (hot, cache-friendly) transposition table,
+   generates moves, or evaluates a leaf; mode chosen data-dependently by a
+   Select.  Small footprint, high instruction density, CPI near the base. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"crafty" in
+  let hash = B.data_array b ~name:"trans_table" ~elem_bytes:8 ~length:60_000 in
+  let board = B.data_array b ~name:"board_stack" ~elem_bytes:8 ~length:2_000 in
+  let history = B.data_array b ~name:"history" ~elem_bytes:4 ~length:8_000 in
+  B.proc b ~name:"probe_hash"
+    [ B.work b ~insts:70 ~accesses:[ B.rand ~arr:hash ~count:3 () ] () ];
+  B.proc b ~name:"gen_moves" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 24; spread = 12 })
+        [ B.work b ~insts:55
+            ~accesses:[ B.hot ~arr:board ~count:3 (); B.hot ~arr:history ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"evaluate"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 16; spread = 4 }) ~unrollable:true
+        [ B.work b ~insts:95 ~accesses:[ B.hot ~arr:board ~count:2 () ] () ] ];
+  (* Quiescence search: short bursts of capture-only expansion at the
+     leaves, touching the board stack and hash but little else. *)
+  B.proc b ~name:"quiescence"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 8; spread = 5 })
+        [ B.work b ~insts:65
+            ~accesses:[ B.hot ~arr:board ~count:2 (); B.rand ~arr:hash ~count:1 () ]
+            () ] ];
+  B.proc b ~name:"pawn_eval" ~inline_hint:true
+    [ B.work b ~insts:110 ~accesses:[ B.hot ~arr:history ~count:3 () ] () ];
+  B.proc b ~name:"search_node"
+    [ B.select b
+        [| [ B.call b "probe_hash"; B.call b "gen_moves" ];
+           [ B.call b "gen_moves"; B.call b "evaluate"; B.call b "pawn_eval" ];
+           [ B.call b "evaluate"; B.call b "quiescence" ];
+           [ B.call b "quiescence" ] |] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 40; per_scale = 40 })
+        [ B.loop b ~trips:(Ast.Jitter { mean = 30; spread = 15 })
+            [ B.call b "search_node" ];
+          B.work b ~insts:120
+            ~accesses:[ B.seq ~arr:history ~count:4 ~write_ratio:0.8 () ]
+            () ] ];
+  B.finish b ~main:"main"

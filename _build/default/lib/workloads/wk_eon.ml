@@ -1,0 +1,41 @@
+(* eon: probabilistic ray tracer (C++).  Per-pixel loop: BVH traversal is
+   a pointer chase through the scene graph, shading is local compute on
+   small material tables, with an occasional texture gather.  Scene fits
+   L2/L3. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"eon" in
+  let bvh = B.pointer_array b ~name:"bvh_nodes" ~length:90_000 in
+  let materials = B.data_array b ~name:"materials" ~elem_bytes:8 ~length:1_500 in
+  let texture = B.data_array b ~name:"texture" ~elem_bytes:4 ~length:140_000 in
+  let fb = B.data_array b ~name:"framebuffer" ~elem_bytes:4 ~length:64_000 in
+  B.proc b ~name:"traverse"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 18; spread = 8 })
+        [ B.work b ~insts:45 ~accesses:[ B.chase ~arr:bvh ~count:2 () ] () ] ];
+  B.proc b ~name:"shade" ~inline_hint:true
+    [ B.work b ~insts:160
+        ~accesses:[ B.hot ~arr:materials ~count:4 (); B.rand ~arr:texture ~count:2 () ]
+        () ];
+  (* Adaptive anti-aliasing: some pixels are supersampled with extra
+     traversals, chosen data-dependently. *)
+  B.proc b ~name:"supersample"
+    [ B.loop b ~trips:(Ast.Fixed 3) [ B.call b "traverse" ];
+      B.work b ~insts:90 ~accesses:[ B.hot ~arr:materials ~count:2 () ] () ];
+  B.proc b ~name:"render_scanline"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 64; spread = 6 })
+        [ B.call b "traverse"; B.call b "shade";
+          B.select b
+            [| [ B.work b ~insts:8 () ]; [ B.work b ~insts:8 () ];
+               [ B.work b ~insts:8 () ]; [ B.call b "supersample" ] |];
+          B.work b ~insts:25
+            ~accesses:[ B.seq ~arr:fb ~count:1 ~write_ratio:1.0 () ]
+            () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 14; per_scale = 14 })
+        [ B.call b "render_scanline" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,36 @@
+(* equake: earthquake ground-motion simulation.  Sparse matrix-vector
+   products (indirect gathers through a large index structure) alternate
+   with a cheap dense time-integration sweep — strongly memory-bound with
+   a two-phase rhythm. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"equake" in
+  let matrix = B.data_array b ~name:"sparse_matrix" ~elem_bytes:8 ~length:450_000 in
+  let index = B.pointer_array b ~name:"col_index" ~length:450_000 in
+  let vec = B.data_array b ~name:"vector" ~elem_bytes:8 ~length:40_000 in
+  B.proc b ~name:"smvp"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 700; spread = 40 })
+        [ B.work b ~insts:75
+            ~accesses:
+              [ B.seq ~arr:matrix ~count:5 (); B.seq ~arr:index ~count:5 ();
+                B.rand ~arr:vec ~count:4 () ]
+            () ] ];
+  B.proc b ~name:"time_integrate"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 350; spread = 20 }) ~unrollable:true
+        [ B.work b ~insts:65
+            ~accesses:[ B.seq ~arr:vec ~count:4 ~write_ratio:0.6 () ]
+            () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"apply_boundary" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 90; spread = 6 })
+        [ B.work b ~insts:50
+            ~accesses:[ B.seq ~arr:vec ~count:3 ~write_ratio:0.9 () ]
+            () ] ];
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 6; per_scale = 6 })
+        [ B.call b "smvp"; B.call b "time_integrate"; B.call b "apply_boundary" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,43 @@
+(* fma3d: explicit finite-element crash simulation.  Element-force loops
+   (regular, streaming over element data) alternate with contact search
+   (random probes into a spatial hash) and nodal assembly (scattered
+   writes) — three behaviours of distinct memory character per step. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"fma3d" in
+  let elements = B.data_array b ~name:"elements" ~elem_bytes:8 ~length:160_000 in
+  let nodes = B.data_array b ~name:"nodes" ~elem_bytes:8 ~length:70_000 in
+  let contact = B.data_array b ~name:"contact_hash" ~elem_bytes:8 ~length:110_000 in
+  B.proc b ~name:"element_forces"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 520; spread = 30 })
+        [ B.work b ~insts:120
+            ~accesses:[ B.seq ~arr:elements ~count:7 (); B.hot ~arr:nodes ~count:3 () ]
+            () ] ];
+  B.proc b ~name:"contact_search"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 260; spread = 90 })
+        [ B.work b ~insts:80
+            ~accesses:[ B.rand ~arr:contact ~count:5 (); B.rand ~arr:nodes ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"assemble" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 300; spread = 18 })
+        [ B.work b ~insts:55
+            ~accesses:[ B.rand ~arr:nodes ~count:4 ~write_ratio:0.8 () ]
+            () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"timestep_control" ~inline_hint:true
+    [ B.work b ~insts:200 ~accesses:[ B.hot ~arr:nodes ~count:4 () ] () ];
+  B.proc b ~name:"write_state"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 120; spread = 8 }) ~unrollable:true
+        [ B.work b ~insts:35
+            ~accesses:[ B.seq ~arr:nodes ~count:4 () ]
+            () ] ];
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 4; per_scale = 4 })
+        [ B.call b "element_forces"; B.call b "contact_search";
+          B.call b "assemble"; B.call b "timestep_control";
+          B.call b "write_state" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,70 @@
+(* gcc: the paper's Table 2 study and the classic many-phase program.
+   Compiles a stream of "functions"; each function runs a data-dependent
+   mix of passes (parse, fold, cse, regalloc, schedule, emit) whose sizes
+   jitter per function.  More distinct behaviours than SimPoint's max-k of
+   10 can represent, so phases must merge — exactly the regime where
+   per-binary clustering merges them differently per binary. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"gcc" in
+  let ast_pool = B.pointer_array b ~name:"ast_pool" ~length:300_000 in
+  let rtl = B.data_array b ~name:"rtl_buffer" ~elem_bytes:8 ~length:120_000 in
+  let symtab = B.data_array b ~name:"symtab" ~elem_bytes:8 ~length:12_000 in
+  let interference = B.data_array b ~name:"interference" ~elem_bytes:4 ~length:240_000 in
+  B.proc b ~name:"parse"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 240; spread = 120 })
+        [ B.work b ~insts:65
+            ~accesses:
+              [ B.chase ~arr:ast_pool ~count:3 (); B.hot ~arr:symtab ~count:3 () ]
+            () ] ];
+  B.proc b ~name:"fold_constants" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 150; spread = 70 })
+        [ B.work b ~insts:90 ~accesses:[ B.seq ~arr:rtl ~count:4 ~write_ratio:0.4 () ] () ] ];
+  B.proc b ~name:"cse_pass"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 190; spread = 80 })
+        [ B.work b ~insts:75
+            ~accesses:[ B.rand ~arr:rtl ~count:4 (); B.hot ~arr:symtab ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"regalloc"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 210; spread = 100 })
+        [ B.work b ~insts:85
+            ~accesses:[ B.rand ~arr:interference ~count:6 ~write_ratio:0.3 () ]
+            () ] ];
+  B.proc b ~name:"schedule"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 160; spread = 60 })
+        [ B.work b ~insts:110 ~accesses:[ B.seq ~arr:rtl ~count:3 () ] () ] ];
+  B.proc b ~name:"jump_threading"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 130; spread = 60 })
+        [ B.work b ~insts:70
+            ~accesses:[ B.chase ~arr:ast_pool ~count:2 (); B.seq ~arr:rtl ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"dce" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 100; spread = 40 }) ~unrollable:true
+        [ B.work b ~insts:45
+            ~accesses:[ B.seq ~arr:rtl ~count:3 ~write_ratio:0.2 () ]
+            () ] ];
+  B.proc b ~name:"emit" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 120; spread = 50 })
+        [ B.work b ~insts:50
+            ~accesses:[ B.seq ~arr:rtl ~count:5 ~write_ratio:0.9 () ]
+            () ] ];
+  B.proc b ~name:"compile_function"
+    [ B.call b "parse";
+      B.select b
+        [| [ B.call b "fold_constants"; B.call b "cse_pass"; B.call b "regalloc" ];
+           [ B.call b "cse_pass"; B.call b "schedule"; B.call b "regalloc" ];
+           [ B.call b "fold_constants"; B.call b "jump_threading";
+             B.call b "regalloc" ];
+           [ B.call b "cse_pass"; B.call b "dce"; B.call b "schedule";
+             B.call b "regalloc" ];
+           [ B.call b "jump_threading"; B.call b "dce"; B.call b "regalloc" ] |];
+      B.call b "emit" ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 9; per_scale = 9 })
+        [ B.call b "compile_function" ] ];
+  B.finish b ~main:"main"

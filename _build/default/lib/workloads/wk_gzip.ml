@@ -1,0 +1,34 @@
+(* gzip: LZ77 compression.  Per chunk: a deflate phase dominated by hash
+   chain probes in a hot 32KB window (dictionary), then a much cheaper CRC
+   / output phase; chunk sizes jitter like real file contents. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"gzip" in
+  let window = B.data_array b ~name:"window" ~elem_bytes:4 ~length:8_000 in
+  let input_buf = B.data_array b ~name:"input" ~elem_bytes:4 ~length:260_000 in
+  let hash_chain = B.data_array b ~name:"hash_chain" ~elem_bytes:4 ~length:16_000 in
+  B.proc b ~name:"deflate_chunk"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 600; spread = 200 })
+        [ B.work b ~insts:70
+            ~accesses:
+              [ B.seq ~arr:input_buf ~count:2 (); B.hot ~arr:window ~count:4 ();
+                B.hot ~arr:hash_chain ~count:3 ~write_ratio:0.5 () ]
+            () ] ];
+  B.proc b ~name:"build_huffman"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 90; spread = 8 })
+        [ B.work b ~insts:55
+            ~accesses:[ B.hot ~arr:hash_chain ~count:4 ~write_ratio:0.4 () ]
+            () ] ];
+  B.proc b ~name:"crc_output" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 250; spread = 15 }) ~unrollable:true
+        [ B.work b ~insts:45 ~accesses:[ B.seq ~arr:input_buf ~count:3 () ] () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 10; per_scale = 10 })
+        [ B.call b "deflate_chunk"; B.call b "build_huffman";
+          B.call b "crc_output" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,30 @@
+(* lucas: Lucas-Lehmer primality testing via FFT squaring.  Long
+   streaming passes over a multi-megabyte signal array (the FFT butterfly
+   sweeps) alternating with a pointwise normalization pass — bandwidth
+   bound, very regular. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"lucas" in
+  let signal = B.data_array b ~name:"fft_signal" ~elem_bytes:8 ~length:600_000 in
+  let twiddle = B.data_array b ~name:"twiddles" ~elem_bytes:8 ~length:6_000 in
+  B.proc b ~name:"fft_sweep"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 800; spread = 45 })
+        [ B.work b ~insts:95
+            ~accesses:
+              [ B.seq ~arr:signal ~stride:2 ~count:8 ~write_ratio:0.5 ();
+                B.hot ~arr:twiddle ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"normalize"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 500; spread = 30 }) ~unrollable:true
+        [ B.work b ~insts:60
+            ~accesses:[ B.seq ~arr:signal ~count:5 ~write_ratio:0.5 () ]
+            () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 5; per_scale = 5 })
+        [ B.call b "fft_sweep"; B.call b "fft_sweep"; B.call b "normalize" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,37 @@
+(* mcf: network-simplex minimum-cost flow — the SPEC2000 cache killer.
+   Pointer chasing through a multi-megabyte arc/node graph dominates; a
+   cheaper pricing scan over the arc array provides the second phase.
+   Pointer arrays make the 64-bit footprint double the 32-bit one, so the
+   ISA pairs genuinely diverge. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"mcf" in
+  let nodes = B.pointer_array b ~name:"nodes" ~length:700_000 in
+  let arcs = B.pointer_array b ~name:"arcs" ~length:1_200_000 in
+  let basket = B.data_array b ~name:"basket" ~elem_bytes:8 ~length:1_000 in
+  B.proc b ~name:"refresh_potential"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 450; spread = 25 })
+        [ B.work b ~insts:90
+            ~accesses:[ B.chase ~arr:nodes ~count:3 (); B.hot ~arr:basket ~count:1 () ]
+            () ] ];
+  B.proc b ~name:"price_arcs"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 600; spread = 35 })
+        [ B.work b ~insts:110
+            ~accesses:[ B.seq ~arr:arcs ~count:4 (); B.rand ~arr:nodes ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"pivot" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 180; spread = 70 })
+        [ B.work b ~insts:70
+            ~accesses:
+              [ B.chase ~arr:arcs ~count:2 ();
+                B.hot ~arr:basket ~count:2 ~write_ratio:0.6 () ]
+            () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 5; per_scale = 5 })
+        [ B.call b "refresh_potential"; B.call b "price_arcs"; B.call b "pivot" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,50 @@
+(* mesa: software 3D rendering.  Vertex transform (compute-dense,
+   streaming over the vertex buffer) feeds rasterization (hot span writes
+   into the framebuffer with texture gathers) — two phases per frame with
+   very different instruction mixes. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"mesa" in
+  let vertices = B.data_array b ~name:"vertices" ~elem_bytes:8 ~length:100_000 in
+  let fb = B.data_array b ~name:"framebuffer" ~elem_bytes:4 ~length:300_000 in
+  let texture = B.data_array b ~name:"texture" ~elem_bytes:4 ~length:90_000 in
+  let matrices = B.data_array b ~name:"matrices" ~elem_bytes:8 ~length:500 in
+  B.proc b ~name:"transform_vertices"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 550; spread = 32 }) ~unrollable:true
+        [ B.work b ~insts:150
+            ~accesses:
+              [ B.seq ~arr:vertices ~count:5 ~write_ratio:0.4 ();
+                B.hot ~arr:matrices ~count:3 () ]
+            () ] ];
+  B.proc b ~name:"clip_cull" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 300; spread = 20 }) ~unrollable:true
+        [ B.work b ~insts:60 ~accesses:[ B.seq ~arr:vertices ~count:3 () ] () ] ];
+  B.proc b ~name:"lighting"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 260; spread = 18 })
+        [ B.work b ~insts:120
+            ~accesses:
+              [ B.seq ~arr:vertices ~count:3 ~write_ratio:0.3 ();
+                B.hot ~arr:matrices ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"rasterize"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 650; spread = 38 })
+        [ B.work b ~insts:80
+            ~accesses:
+              [ B.seq ~arr:fb ~count:6 ~write_ratio:0.9 ();
+                B.rand ~arr:texture ~count:3 () ]
+            () ] ];
+  B.proc b ~name:"swap_buffers" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 200; spread = 12 })
+        [ B.work b ~insts:40
+            ~accesses:[ B.seq ~arr:fb ~count:6 ~write_ratio:0.5 () ]
+            () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 5; per_scale = 5 })
+        [ B.call b "transform_vertices"; B.call b "clip_cull";
+          B.call b "lighting"; B.call b "rasterize"; B.call b "swap_buffers" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,49 @@
+(* perlbmk: Perl interpreter.  Opcode-dispatch dominated — a Select per
+   "opcode group" over many small inlined handlers, hashing into hot
+   symbol/stash tables, with periodic garbage-collection sweeps over the
+   arena.  Call overhead and dispatch cost make the O0/O2 gap large. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"perlbmk" in
+  let arena = B.pointer_array b ~name:"sv_arena" ~length:200_000 in
+  let stash = B.data_array b ~name:"stash" ~elem_bytes:8 ~length:10_000 in
+  let pad = B.data_array b ~name:"pad" ~elem_bytes:8 ~length:1_200 in
+  B.proc b ~name:"op_arith" ~inline_hint:true
+    [ B.work b ~insts:40 ~accesses:[ B.hot ~arr:pad ~count:2 ~write_ratio:0.5 () ] () ];
+  B.proc b ~name:"op_hash"
+    [ B.work b ~insts:65
+        ~accesses:[ B.rand ~arr:stash ~count:3 (); B.hot ~arr:pad ~count:1 () ]
+        () ];
+  B.proc b ~name:"op_string"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 10; spread = 6 })
+        [ B.work b ~insts:35 ~accesses:[ B.rand ~arr:arena ~count:2 () ] () ] ];
+  (* Regex matching: backtracking scans over subject strings in the
+     arena with a hot transition table. *)
+  B.proc b ~name:"op_regex"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 20; spread = 12 })
+        [ B.work b ~insts:50
+            ~accesses:[ B.seq ~arr:arena ~count:2 (); B.hot ~arr:pad ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"gc_sweep"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 400; spread = 25 })
+        [ B.work b ~insts:55
+            ~accesses:[ B.seq ~arr:arena ~count:5 ~write_ratio:0.3 () ]
+            () ] ];
+  B.proc b ~name:"run_block"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 120; spread = 50 })
+        [ B.select b
+            [| [ B.call b "op_arith"; B.call b "op_hash" ];
+               [ B.call b "op_string" ];
+               [ B.call b "op_arith"; B.call b "op_arith" ];
+               [ B.call b "op_hash"; B.call b "op_string" ];
+               [ B.call b "op_regex" ] |] ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 14; per_scale = 14 })
+        [ B.call b "run_block";
+          B.select b [| [ B.call b "gc_sweep" ]; [ B.call b "run_block" ] |] ] ];
+  B.finish b ~main:"main"

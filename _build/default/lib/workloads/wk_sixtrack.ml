@@ -1,0 +1,29 @@
+(* sixtrack: particle tracking around an accelerator lattice.  One long,
+   extremely regular phase: per turn, each particle passes through every
+   lattice element with a tight unrollable map kernel over a small working
+   set — CPI stays near the pipeline base, phases collapse to one or two. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"sixtrack" in
+  let particles = B.data_array b ~name:"particles" ~elem_bytes:8 ~length:4_000 in
+  let lattice = B.data_array b ~name:"lattice" ~elem_bytes:8 ~length:14_000 in
+  B.proc b ~name:"track_turn"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 70; spread = 5 })
+        [ B.loop b ~trips:(Ast.Fixed 60) ~unrollable:true
+            [ B.work b ~insts:130
+                ~accesses:
+                  [ B.hot ~arr:particles ~count:3 ~write_ratio:0.5 ();
+                    B.seq ~arr:lattice ~count:2 () ]
+                () ] ] ];
+  B.proc b ~name:"collimate" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 120; spread = 8 })
+        [ B.work b ~insts:50 ~accesses:[ B.seq ~arr:particles ~count:3 () ] () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 8; per_scale = 8 })
+        [ B.call b "track_turn"; B.call b "collimate" ] ];
+  B.finish b ~main:"main"

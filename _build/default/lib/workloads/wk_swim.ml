@@ -1,0 +1,30 @@
+(* swim: shallow-water weather stencil.  Three full-grid sweeps (calc1,
+   calc2, calc3) per time step over multi-megabyte fields — pure
+   streaming bandwidth, period-three phase rhythm. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"swim" in
+  let u = B.data_array b ~name:"u_field" ~elem_bytes:8 ~length:260_000 in
+  let v = B.data_array b ~name:"v_field" ~elem_bytes:8 ~length:260_000 in
+  let p = B.data_array b ~name:"p_field" ~elem_bytes:8 ~length:260_000 in
+  let sweep ~name ~src ~dst ~insts =
+    B.proc b ~name
+      [ B.loop b ~trips:(Ast.Jitter { mean = 520; spread = 30 })
+          [ B.work b ~insts
+              ~accesses:
+                [ B.seq ~arr:src ~count:6 ();
+                  B.seq ~arr:dst ~count:4 ~write_ratio:0.7 () ]
+              () ] ]
+  in
+  sweep ~name:"calc1" ~src:u ~dst:v ~insts:100;
+  sweep ~name:"calc2" ~src:v ~dst:p ~insts:90;
+  sweep ~name:"calc3" ~src:p ~dst:u ~insts:110;
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 5; per_scale = 5 })
+        [ B.call b "calc1"; B.call b "calc2"; B.call b "calc3" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,47 @@
+(* twolf: standard-cell place and route by simulated annealing.  Each
+   anneal step proposes a random cell swap (random probes over the cell
+   and net arrays), evaluates wire cost, and data-dependently accepts
+   (scattered updates) or rejects (cheap) — irregular, L2/L3 bound. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"twolf" in
+  let cells = B.data_array b ~name:"cells" ~elem_bytes:8 ~length:90_000 in
+  let nets = B.pointer_array b ~name:"nets" ~length:140_000 in
+  let cost_table = B.data_array b ~name:"cost_table" ~elem_bytes:8 ~length:900 in
+  B.proc b ~name:"propose_swap"
+    [ B.work b ~insts:60
+        ~accesses:[ B.rand ~arr:cells ~count:3 (); B.hot ~arr:cost_table ~count:2 () ]
+        () ];
+  B.proc b ~name:"eval_wirelen"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 14; spread = 7 })
+        [ B.work b ~insts:50 ~accesses:[ B.rand ~arr:nets ~count:3 () ] () ] ];
+  B.proc b ~name:"accept_move" ~inline_hint:true
+    [ B.work b ~insts:45
+        ~accesses:[ B.rand ~arr:cells ~count:3 ~write_ratio:0.8 () ]
+        () ];
+  (* Periodic global routing estimate: a sweep over the nets with
+     scattered cell reads, much more memory-bound than the anneal inner
+     loop. *)
+  B.proc b ~name:"global_route"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 160; spread = 10 })
+        [ B.work b ~insts:70
+            ~accesses:[ B.seq ~arr:nets ~count:5 (); B.rand ~arr:cells ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"anneal_step"
+    [ B.call b "propose_swap"; B.call b "eval_wirelen";
+      B.select b
+        [| [ B.call b "accept_move" ];
+           [ B.work b ~insts:20 ~accesses:[ B.hot ~arr:cost_table ~count:1 () ] () ] |] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 9; per_scale = 9 })
+        [ B.loop b ~trips:(Ast.Jitter { mean = 450; spread = 25 }) [ B.call b "anneal_step" ];
+          B.call b "global_route";
+          B.work b ~insts:300
+            ~accesses:[ B.seq ~arr:cells ~count:10 () ]
+            () ] ];
+  B.finish b ~main:"main"

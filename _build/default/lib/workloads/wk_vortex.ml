@@ -1,0 +1,51 @@
+(* vortex: object-oriented database.  Three transaction kinds (lookup,
+   insert, delete-traverse) chase through the object graph and hash into
+   hot method/index tables; a Select models the transaction mix of the
+   reference input. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"vortex" in
+  let objects = B.pointer_array b ~name:"object_heap" ~length:350_000 in
+  let index = B.data_array b ~name:"index" ~elem_bytes:8 ~length:50_000 in
+  let methods = B.data_array b ~name:"method_table" ~elem_bytes:8 ~length:2_500 in
+  B.proc b ~name:"txn_lookup"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 40; spread = 15 })
+        [ B.work b ~insts:55
+            ~accesses:[ B.chase ~arr:objects ~count:2 (); B.hot ~arr:methods ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"txn_insert"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 30; spread = 10 })
+        [ B.work b ~insts:70
+            ~accesses:
+              [ B.rand ~arr:objects ~count:3 ~write_ratio:0.6 ();
+                B.rand ~arr:index ~count:2 ~write_ratio:0.5 () ]
+            () ] ];
+  B.proc b ~name:"txn_traverse"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 60; spread = 25 })
+        [ B.work b ~insts:45
+            ~accesses:[ B.chase ~arr:objects ~count:3 (); B.seq ~arr:index ~count:1 () ]
+            () ] ];
+  (* Occasional index rebuild: a long sequential pass over the index,
+     the database's maintenance behaviour. *)
+  B.proc b ~name:"rebuild_index"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 220; spread = 15 })
+        [ B.work b ~insts:55
+            ~accesses:[ B.seq ~arr:index ~count:6 ~write_ratio:0.5 () ]
+            () ] ];
+  B.proc b ~name:"commit" ~inline_hint:true
+    [ B.work b ~insts:80
+        ~accesses:[ B.seq ~arr:index ~count:4 ~write_ratio:0.9 () ]
+        () ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 160; per_scale = 160 })
+        [ B.select b
+            [| [ B.call b "txn_lookup" ]; [ B.call b "txn_insert" ];
+               [ B.call b "txn_traverse" ]; [ B.call b "txn_lookup" ];
+               [ B.call b "txn_lookup" ]; [ B.call b "rebuild_index" ] |];
+          B.call b "commit" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,50 @@
+(* vpr: FPGA placement and routing — two program halves with different
+   characters: a placement half (annealing-style random swaps over the
+   block array) followed by a routing half (wavefront expansion chasing
+   through the routing-resource graph).  A strong macro-phase boundary in
+   the middle of execution. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"vpr" in
+  let blocks = B.data_array b ~name:"blocks" ~elem_bytes:8 ~length:30_000 in
+  let rr_graph = B.pointer_array b ~name:"rr_graph" ~length:500_000 in
+  let heap = B.data_array b ~name:"route_heap" ~elem_bytes:8 ~length:20_000 in
+  (* Placers alternate random swap probes with linear sweeps over the
+     block array (cost recomputation), which also keeps the array
+     cache-resident at phase granularity. *)
+  B.proc b ~name:"try_place"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 380; spread = 22 })
+        [ B.work b ~insts:75
+            ~accesses:
+              [ B.rand ~arr:blocks ~count:3 ~write_ratio:0.4 ();
+                B.seq ~arr:blocks ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"route_net"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 340; spread = 120 })
+        [ B.work b ~insts:65
+            ~accesses:
+              [ B.chase ~arr:rr_graph ~count:2 ();
+                B.hot ~arr:heap ~count:3 ~write_ratio:0.5 () ]
+            () ] ];
+  (* Static timing analysis after each routing iteration: a levelized
+     sweep over the routing graph, sequential rather than chasing. *)
+  B.proc b ~name:"timing_analysis"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 240; spread = 16 })
+        [ B.work b ~insts:60
+            ~accesses:[ B.seq ~arr:rr_graph ~count:4 (); B.hot ~arr:heap ~count:1 () ]
+            () ] ];
+  B.proc b ~name:"update_costs" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 200; spread = 12 }) ~unrollable:true
+        [ B.work b ~insts:55 ~accesses:[ B.seq ~arr:heap ~count:3 () ] () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 7; per_scale = 7 })
+        [ B.call b "try_place" ];
+      B.loop b ~trips:(Ast.Scaled { base = 7; per_scale = 7 })
+        [ B.call b "route_net"; B.call b "update_costs";
+          B.call b "timing_analysis" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,38 @@
+(* wupwise: lattice QCD (Wuppertal Wilson fermion solver).  BiCGStab
+   iterations: blocked matrix-vector kernels with tight unrollable inner
+   loops over L3-sized complex fields, plus global reductions — regular,
+   compute-dense, mildly bandwidth-bound. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+let program () =
+  let b = B.create ~name:"wupwise" in
+  let gauge = B.data_array b ~name:"gauge_field" ~elem_bytes:8 ~length:180_000 in
+  let spinor = B.data_array b ~name:"spinor" ~elem_bytes:8 ~length:120_000 in
+  let temp = B.data_array b ~name:"temp" ~elem_bytes:8 ~length:120_000 in
+  B.proc b ~name:"muldoe"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 90; spread = 6 })
+        [ B.loop b ~trips:(Ast.Fixed 40) ~unrollable:true
+            [ B.work b ~insts:140
+                ~accesses:
+                  [ B.seq ~arr:gauge ~count:4 (); B.seq ~arr:spinor ~count:3 ();
+                    B.seq ~arr:temp ~count:2 ~write_ratio:0.8 () ]
+                () ] ] ];
+  B.proc b ~name:"zaxpy" ~inline_hint:true
+    [ B.loop b ~trips:(Ast.Jitter { mean = 600; spread = 35 }) ~unrollable:true
+        [ B.work b ~insts:55
+            ~accesses:
+              [ B.seq ~arr:spinor ~count:3 ~write_ratio:0.5 ();
+                B.seq ~arr:temp ~count:2 () ]
+            () ] ];
+  B.proc b ~name:"global_sum"
+    [ B.loop b ~trips:(Ast.Jitter { mean = 300; spread = 18 })
+        [ B.work b ~insts:45 ~accesses:[ B.seq ~arr:temp ~count:3 () ] () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 4; per_scale = 4 })
+        [ B.call b "muldoe"; B.call b "zaxpy"; B.call b "muldoe";
+          B.call b "global_sum" ] ];
+  B.finish b ~main:"main"

@@ -1,0 +1,1 @@
+test/test_bic.ml: Alcotest Array Cbsp_simpoint Cbsp_util Float List Tutil

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cbsp_cache Gen List QCheck Tutil

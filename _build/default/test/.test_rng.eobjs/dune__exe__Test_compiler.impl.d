@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Cbsp_compiler Cbsp_source List QCheck Tutil

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Cbsp_cache Cbsp_compiler Cbsp_exec Tutil

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Cbsp Cbsp_compiler Cbsp_exec Cbsp_profile Cbsp_source List Printf Tutil

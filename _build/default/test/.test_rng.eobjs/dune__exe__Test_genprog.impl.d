@@ -1,0 +1,1 @@
+test/test_genprog.ml: Alcotest Array Cbsp Cbsp_compiler Cbsp_exec Cbsp_profile Cbsp_source Cbsp_util List Printf QCheck Tutil

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Cbsp_cache Cbsp_compiler Cbsp_exec Cbsp_profile Filename Fun Printf Sys Tutil

@@ -1,0 +1,1 @@
+test/test_kmeans.ml: Alcotest Array Cbsp_simpoint Cbsp_util Float List Printf QCheck Tutil

@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Cbsp Cbsp_compiler Cbsp_profile Cbsp_source List Printf Tutil

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Cbsp Cbsp_compiler Float List Tutil

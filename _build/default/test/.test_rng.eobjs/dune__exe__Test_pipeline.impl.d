@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Cbsp Cbsp_compiler Cbsp_util Float List Printf Tutil

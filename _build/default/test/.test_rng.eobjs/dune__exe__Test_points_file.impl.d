@@ -1,0 +1,1 @@
+test/test_points_file.ml: Alcotest Array Buffer Cbsp Cbsp_compiler Cbsp_profile Cbsp_source Filename Fun List Option String Sys Tutil

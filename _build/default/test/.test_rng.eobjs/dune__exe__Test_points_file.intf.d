@@ -1,0 +1,1 @@
+test/test_points_file.mli:

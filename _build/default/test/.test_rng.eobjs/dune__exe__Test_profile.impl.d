@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Cbsp Cbsp_cache Cbsp_compiler Cbsp_exec Cbsp_profile Cbsp_util List Printf Tutil

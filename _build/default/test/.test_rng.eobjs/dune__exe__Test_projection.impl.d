@@ -1,0 +1,1 @@
+test/test_projection.ml: Alcotest Array Cbsp_simpoint Cbsp_util Tutil

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Buffer Cbsp Cbsp_report Cbsp_source Format Lazy List String Tutil

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Cbsp_util QCheck Tutil

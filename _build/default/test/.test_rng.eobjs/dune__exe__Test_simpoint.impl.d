@@ -1,0 +1,1 @@
+test/test_simpoint.ml: Alcotest Array Cbsp_simpoint Cbsp_util List Tutil

@@ -1,0 +1,1 @@
+test/test_source.ml: Alcotest Cbsp_source List QCheck Tutil

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Cbsp_util Float Gen QCheck Tutil

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cbsp_compiler Cbsp_exec Cbsp_source Cbsp_workloads List Tutil

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Cbsp_compiler Cbsp_source List QCheck_alcotest

@@ -1,0 +1,91 @@
+module Cpu = Cbsp_cache.Cpu
+module Hierarchy = Cbsp_cache.Hierarchy
+module Config = Cbsp_compiler.Config
+module Isa = Cbsp_compiler.Isa
+module Lower = Cbsp_compiler.Lower
+module Executor = Cbsp_exec.Executor
+
+let test_base_cpi_is_one () =
+  (* a program with no memory accesses runs at exactly CPI 1.0 *)
+  let program = Tutil.single_loop_program ~trips:100 ~insts:50 () in
+  let binary = Lower.compile program (Config.v Isa.X86_64 Config.O2) in
+  let cpu = Cpu.create () in
+  let totals = Executor.run binary Tutil.test_input (Cpu.observer cpu) in
+  Tutil.check_int "cpu saw all insts" totals.Executor.insts (Cpu.insts cpu);
+  Tutil.check_close ~eps:1e-9 "cpi exactly 1" 1.0 (Cpu.cpi cpu)
+
+(* Note: at O0 the same program has spill traffic, so CPI > 1. *)
+let test_spills_raise_cpi () =
+  let program = Tutil.single_loop_program ~trips:100 ~insts:50 () in
+  let binary = Lower.compile program (Config.v Isa.X86_32 Config.O0) in
+  let cpu = Cpu.create () in
+  let (_ : Executor.totals) = Executor.run binary Tutil.test_input (Cpu.observer cpu) in
+  Tutil.check_bool "O0 cpi > 1 (spill stalls)" true (Cpu.cpi cpu > 1.0);
+  Tutil.check_bool "spills are L1-friendly: cpi < 3" true (Cpu.cpi cpu < 3.0)
+
+let test_memory_bound_cpi_higher () =
+  let program = Tutil.two_phase_program () in
+  let config = Config.v Isa.X86_64 Config.O2 in
+  let binary = Lower.compile program config in
+  let cpu = Cpu.create () in
+  let (_ : Executor.totals) = Executor.run binary Tutil.test_input (Cpu.observer cpu) in
+  Tutil.check_bool "random traffic pushes cpi well above 1" true (Cpu.cpi cpu > 1.3)
+
+let test_cpi_before_run () =
+  let cpu = Cpu.create () in
+  Alcotest.check_raises "no instructions yet"
+    (Invalid_argument "Cpu.cpi: no instructions executed") (fun () ->
+      ignore (Cpu.cpi cpu))
+
+let test_reset () =
+  let program = Tutil.single_loop_program () in
+  let binary = Lower.compile program (Config.v Isa.X86_64 Config.O2) in
+  let cpu = Cpu.create () in
+  let (_ : Executor.totals) = Executor.run binary Tutil.test_input (Cpu.observer cpu) in
+  Cpu.reset cpu;
+  Tutil.check_int "insts cleared" 0 (Cpu.insts cpu);
+  Tutil.check_float "cycles cleared" 0.0 (Cpu.cycles cpu)
+
+let test_custom_config () =
+  (* with an absurdly small hierarchy, the same program costs more *)
+  let program = Tutil.two_phase_program () in
+  let binary = Lower.compile program (Config.v Isa.X86_64 Config.O2) in
+  let run config =
+    let cpu = Cpu.create ?config () in
+    let (_ : Executor.totals) =
+      Executor.run binary Tutil.test_input (Cpu.observer cpu)
+    in
+    Cpu.cpi cpu
+  in
+  let default = run None in
+  let tiny = run (Some (Hierarchy.scaled_config ~factor:64)) in
+  Tutil.check_bool "smaller caches, higher cpi" true (tiny > default)
+
+let test_cycles_monotone () =
+  let program = Tutil.single_loop_program ~trips:50 () in
+  let binary = Lower.compile program (Config.v Isa.X86_32 Config.O0) in
+  let cpu = Cpu.create () in
+  let last = ref 0.0 in
+  let watcher =
+    { Executor.null_observer with
+      Executor.on_block =
+        (fun _ _ ->
+          let now = Cpu.cycles cpu in
+          if now < !last then Alcotest.fail "cycles went backwards";
+          last := now) }
+  in
+  let (_ : Executor.totals) =
+    Executor.run binary Tutil.test_input (Executor.compose [ watcher; Cpu.observer cpu ])
+  in
+  Tutil.check_bool "progressed" true (Cpu.cycles cpu > 0.0)
+
+let () =
+  Alcotest.run "cpu"
+    [ ( "cpi model",
+        [ Tutil.quick "base cpi 1.0" test_base_cpi_is_one;
+          Tutil.quick "spills raise cpi" test_spills_raise_cpi;
+          Tutil.quick "memory-bound cpi" test_memory_bound_cpi_higher;
+          Tutil.quick "cpi before run" test_cpi_before_run;
+          Tutil.quick "reset" test_reset;
+          Tutil.quick "custom config" test_custom_config;
+          Tutil.quick "cycles monotone" test_cycles_monotone ] ) ]

@@ -1,0 +1,234 @@
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+module Config = Cbsp_compiler.Config
+module Isa = Cbsp_compiler.Isa
+module Costmodel = Cbsp_compiler.Costmodel
+module Lower = Cbsp_compiler.Lower
+module Binary = Cbsp_compiler.Binary
+module Marker = Cbsp_compiler.Marker
+module Executor = Cbsp_exec.Executor
+
+let input = Tutil.test_input
+
+let run binary obs = Executor.run binary input obs
+
+(* Analytic instruction count for a single fixed loop at O0/32:
+   header + trips * (work + backedge). *)
+let test_analytic_insts () =
+  let trips = 10 and insts = 50 in
+  let program = Tutil.single_loop_program ~trips ~insts () in
+  let config = Config.v Isa.X86_32 Config.O0 in
+  let binary = Lower.compile program config in
+  let totals = run binary Executor.null_observer in
+  let expected =
+    Costmodel.loop_header_insts config
+    + (trips * (Costmodel.work_insts config insts + Costmodel.backedge_insts config))
+  in
+  Tutil.check_int "analytic instruction count" expected totals.Executor.insts
+
+let test_determinism () =
+  let program = Tutil.two_phase_program () in
+  let binary = Lower.compile program (Config.v Isa.X86_64 Config.O2) in
+  let t1 = run binary Executor.null_observer in
+  let t2 = run binary Executor.null_observer in
+  Tutil.check_bool "totals identical across runs" true (t1 = t2)
+
+let test_zero_trip_loop () =
+  let b = B.create ~name:"z" in
+  B.proc b ~name:"main"
+    [ B.loop b ~trips:(Ast.Fixed 0) [ B.work b ~insts:10 () ];
+      B.work b ~insts:5 () ]
+  |> ignore;
+  let program = B.finish b ~main:"main" in
+  let config = Config.v Isa.X86_32 Config.O2 in
+  let binary = Lower.compile program config in
+  let entries = ref 0 and backs = ref 0 in
+  let obs =
+    { Executor.null_observer with
+      Executor.on_marker =
+        (fun key ->
+          match key with
+          | Marker.Loop_entry _ -> incr entries
+          | Marker.Loop_back _ -> incr backs
+          | Marker.Proc_entry _ -> ()) }
+  in
+  let totals = run binary obs in
+  Tutil.check_int "loop entered" 1 !entries;
+  Tutil.check_int "no back edges" 0 !backs;
+  let expected =
+    Costmodel.loop_header_insts config + Costmodel.work_insts config 5
+  in
+  Tutil.check_int "header + tail only" expected totals.Executor.insts
+
+let marker_counts binary =
+  let obs, read = Cbsp_profile.Structprof.observer () in
+  let (_ : Executor.totals) = run binary obs in
+  read ()
+
+let test_loop_marker_counts () =
+  let trips = 10 in
+  let program = Tutil.single_loop_program ~trips () in
+  let binary = Lower.compile program (Config.v Isa.X86_32 Config.O0) in
+  let profile = marker_counts binary in
+  let line = List.hd (Ast.loop_lines program) in
+  Tutil.check_int "one entry" 1
+    (Cbsp_profile.Structprof.count profile (Marker.Loop_entry line));
+  Tutil.check_int "one back per iteration" trips
+    (Cbsp_profile.Structprof.count profile (Marker.Loop_back line));
+  Tutil.check_int "main entered once" 1
+    (Cbsp_profile.Structprof.count profile (Marker.Proc_entry "main"))
+
+(* Unrolling: back-edge marker fires ceil(trips/U) times per entry. *)
+let test_unrolled_backedge_count () =
+  let b = B.create ~name:"u" in
+  B.proc b ~name:"main"
+    [ B.loop b ~trips:(Ast.Fixed 10) ~unrollable:true [ B.work b ~insts:20 () ] ];
+  let program = B.finish b ~main:"main" in
+  let config = Config.v Isa.X86_32 Config.O2 in
+  let u = Costmodel.unroll_factor config in
+  let binary = Lower.compile program config in
+  let profile = marker_counts binary in
+  let line = List.hd (Ast.loop_lines program) in
+  Tutil.check_int "machine back edges = ceil(trips/U)"
+    ((10 + u - 1) / u)
+    (Cbsp_profile.Structprof.count profile (Marker.Loop_back line))
+
+(* The semantic-equivalence invariant: the sequence of data-memory
+   addresses is identical across optimization levels of the same ISA, and
+   differs across ISAs only through the layout of pointer arrays. *)
+let collect_data_addrs binary =
+  let layout = binary.Binary.layout in
+  let stack_floor = Cbsp_compiler.Layout.stack_addr layout ~depth:0 ~slot:0 in
+  let addrs = ref [] in
+  let obs =
+    { Executor.null_observer with
+      Executor.on_access =
+        (fun addr _ -> if addr < stack_floor then addrs := addr :: !addrs) }
+  in
+  let (_ : Executor.totals) = run binary obs in
+  List.rev !addrs
+
+let test_data_stream_invariant_across_opt () =
+  let program = Tutil.two_phase_program () in
+  let o0 = Lower.compile program (Config.v Isa.X86_32 Config.O0) in
+  let o2 = Lower.compile program (Config.v Isa.X86_32 Config.O2) in
+  Tutil.check_bool "same data addresses O0 vs O2" true
+    (collect_data_addrs o0 = collect_data_addrs o2)
+
+let test_data_stream_invariant_across_isa () =
+  (* with only 8-byte data arrays, even the ISA change is invisible *)
+  let program = Tutil.two_phase_program () in
+  let b32 = Lower.compile program (Config.v Isa.X86_32 Config.O0) in
+  let b64 = Lower.compile program (Config.v Isa.X86_64 Config.O0) in
+  Tutil.check_bool "same data addresses 32 vs 64 (data arrays only)" true
+    (collect_data_addrs b32 = collect_data_addrs b64)
+
+(* Marker-stream equivalence: the subsequence of mappable marker events is
+   identical across all four binaries, split or not. *)
+let marker_stream binary ~mappable =
+  let events = ref [] in
+  let obs =
+    { Executor.null_observer with
+      Executor.on_marker =
+        (fun key -> if mappable key then events := key :: !events) }
+  in
+  let (_ : Executor.totals) = run binary obs in
+  List.rev !events
+
+let check_marker_streams program ~loop_splitting =
+  let binaries = Tutil.compile_all ~loop_splitting program in
+  let profiles =
+    List.map (fun b -> Cbsp_profile.Structprof.profile b input) binaries
+  in
+  let mappable = Cbsp.Matching.find ~binaries ~profiles () in
+  let streams =
+    List.map (fun b -> marker_stream b ~mappable:(Cbsp.Matching.is_mappable mappable))
+      binaries
+  in
+  match streams with
+  | first :: rest ->
+    Tutil.check_bool "nonempty stream" true (first <> []);
+    List.iteri
+      (fun i s ->
+        Tutil.check_bool
+          (Printf.sprintf "binary %d matches primary stream" (i + 1))
+          true (s = first))
+      rest
+  | [] -> Alcotest.fail "no binaries"
+
+let test_marker_stream_equivalence () =
+  check_marker_streams (Tutil.two_phase_program ()) ~loop_splitting:false;
+  check_marker_streams (Tutil.splittable_program ()) ~loop_splitting:true
+
+(* Split loops must preserve source-level totals: same data accesses (as a
+   multiset — order is permuted by distribution) and same trip sums. *)
+let test_split_preserves_access_multiset () =
+  let program = Tutil.splittable_program () in
+  let plain = Lower.compile program (Config.v Isa.X86_32 Config.O2) in
+  let split =
+    Lower.compile program (Config.v ~loop_splitting:true Isa.X86_32 Config.O2)
+  in
+  let sorted b = List.sort compare (collect_data_addrs b) in
+  Tutil.check_bool "same address multiset" true (sorted plain = sorted split)
+
+let test_select_counts () =
+  let b = B.create ~name:"s" in
+  let arms = 3 in
+  B.proc b ~name:"main"
+    [ B.loop b ~trips:(Ast.Fixed 100)
+        [ B.select b
+            (Array.init arms (fun i -> [ B.work b ~insts:(10 + i) () ])) ] ];
+  let program = B.finish b ~main:"main" in
+  let binary = Lower.compile program (Config.v Isa.X86_32 Config.O0) in
+  let blocks = ref 0 in
+  let obs =
+    { Executor.null_observer with
+      Executor.on_block = (fun _ _ -> incr blocks) }
+  in
+  let totals = run binary obs in
+  Tutil.check_int "observer saw all blocks" totals.Executor.blocks !blocks;
+  (* 100 dispatches + 100 arm bodies + 100 backedges + 1 header *)
+  Tutil.check_int "block events" (100 + 100 + 100 + 1) totals.Executor.blocks
+
+let test_compose_order () =
+  let program = Tutil.single_loop_program () in
+  let binary = Lower.compile program (Config.v Isa.X86_32 Config.O0) in
+  let order = ref [] in
+  let obs1 =
+    { Executor.null_observer with
+      Executor.on_block = (fun _ _ -> order := 1 :: !order) }
+  in
+  let obs2 =
+    { Executor.null_observer with
+      Executor.on_block = (fun _ _ -> order := 2 :: !order) }
+  in
+  let (_ : Executor.totals) = run binary (Executor.compose [ obs1; obs2 ]) in
+  (match !order with
+   | 2 :: 1 :: _ -> ()
+   | _ -> Alcotest.fail "observers not called in list order");
+  Tutil.check_bool "composition saw events" true (List.length !order > 0)
+
+let test_counting_observer () =
+  let program = Tutil.single_loop_program () in
+  let binary = Lower.compile program (Config.v Isa.X86_32 Config.O0) in
+  let obs, read = Executor.counting_observer () in
+  let totals = run binary obs in
+  Tutil.check_int "counting observer matches totals" totals.Executor.insts (read ())
+
+let () =
+  Alcotest.run "exec"
+    [ ( "counting",
+        [ Tutil.quick "analytic insts" test_analytic_insts;
+          Tutil.quick "determinism" test_determinism;
+          Tutil.quick "zero-trip loop" test_zero_trip_loop;
+          Tutil.quick "loop marker counts" test_loop_marker_counts;
+          Tutil.quick "unrolled back edges" test_unrolled_backedge_count;
+          Tutil.quick "select counts" test_select_counts ] );
+      ( "equivalence",
+        [ Tutil.quick "data stream across opt" test_data_stream_invariant_across_opt;
+          Tutil.quick "data stream across isa" test_data_stream_invariant_across_isa;
+          Tutil.quick "marker stream equality" test_marker_stream_equivalence;
+          Tutil.quick "split preserves accesses" test_split_preserves_access_multiset ] );
+      ( "observers",
+        [ Tutil.quick "compose order" test_compose_order;
+          Tutil.quick "counting observer" test_counting_observer ] ) ]

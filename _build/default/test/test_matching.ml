@@ -1,0 +1,169 @@
+module Matching = Cbsp.Matching
+module Marker = Cbsp_compiler.Marker
+module Config = Cbsp_compiler.Config
+module Isa = Cbsp_compiler.Isa
+module Lower = Cbsp_compiler.Lower
+module Binary = Cbsp_compiler.Binary
+module Structprof = Cbsp_profile.Structprof
+module Ast = Cbsp_source.Ast
+
+let input = Tutil.test_input
+
+let find ?options ?loop_splitting program =
+  let binaries = Tutil.compile_all ?loop_splitting program in
+  let profiles = List.map (fun b -> Structprof.profile b input) binaries in
+  (Matching.find ?options ~binaries ~profiles (), binaries)
+
+let test_basic_intersection () =
+  let program = Tutil.two_phase_program () in
+  let mappable, _ = find program in
+  (* main and memory survive in all binaries; compute is inlined at O2 *)
+  Tutil.check_bool "main mappable" true
+    (Matching.is_mappable mappable (Marker.Proc_entry "main"));
+  Tutil.check_bool "memory mappable" true
+    (Matching.is_mappable mappable (Marker.Proc_entry "memory"));
+  Tutil.check_bool "inlined proc not mappable" false
+    (Matching.is_mappable mappable (Marker.Proc_entry "compute"))
+
+let loop_line_of program proc_name =
+  let proc = Ast.find_proc program proc_name in
+  let rec first = function
+    | [] -> Alcotest.fail "no loop in proc"
+    | Ast.Loop l :: _ -> l.Ast.loop_line
+    | _ :: rest -> first rest
+  in
+  first proc.Ast.proc_body
+
+let test_inline_recovery_keeps_loops () =
+  let program = Tutil.two_phase_program () in
+  let mappable, _ = find program in
+  let compute_loop = loop_line_of program "compute" in
+  (* compute is inlined at O2 but its loop line survives: ENTRY marker
+     matches (same count); BACK marker does not (the loop is unrolled). *)
+  Tutil.check_bool "inlined loop entry recovered" true
+    (Matching.is_mappable mappable (Marker.Loop_entry compute_loop));
+  Tutil.check_bool "unrolled back edge dropped" false
+    (Matching.is_mappable mappable (Marker.Loop_back compute_loop))
+
+let test_non_unrolled_back_edges_match () =
+  let program = Tutil.two_phase_program () in
+  let mappable, _ = find program in
+  let memory_loop = loop_line_of program "memory" in
+  Tutil.check_bool "plain loop back edge mappable" true
+    (Matching.is_mappable mappable (Marker.Loop_back memory_loop))
+
+let test_inline_recovery_off () =
+  let program = Tutil.two_phase_program () in
+  let options = { Matching.default_options with Matching.inline_recovery = false } in
+  let mappable, _ = find ~options program in
+  let compute_loop = loop_line_of program "compute" in
+  Tutil.check_bool "recovery off drops inlined loops" false
+    (Matching.is_mappable mappable (Marker.Loop_entry compute_loop));
+  (* but untouched procs' loops survive *)
+  let memory_loop = loop_line_of program "memory" in
+  Tutil.check_bool "other loops unaffected" true
+    (Matching.is_mappable mappable (Marker.Loop_entry memory_loop))
+
+let test_split_loops_unmappable () =
+  let program = Tutil.splittable_program () in
+  let mappable, binaries = find ~loop_splitting:true program in
+  (* no loop marker survives: the main loop is split (mangled) in O2
+     binaries, and the callees' loops are mangled under the fragments *)
+  Marker.Set.iter
+    (fun key ->
+      match key with
+      | Marker.Loop_entry _ | Marker.Loop_back _ ->
+        Alcotest.failf "unexpected mappable loop key %s" (Marker.to_string key)
+      | Marker.Proc_entry _ -> ())
+    mappable.Matching.keys;
+  (* sanity: mangled keys exist in the split binaries' profiles *)
+  let split_binary = List.nth binaries 1 in
+  Tutil.check_bool "split binary has mangled loops" true
+    (Array.exists (fun l -> l.Binary.li_line < 0) split_binary.Binary.loops)
+
+let test_mangled_never_mappable () =
+  let program = Tutil.splittable_program () in
+  let mappable, _ = find ~loop_splitting:true program in
+  Marker.Set.iter
+    (fun key ->
+      if Marker.is_mangled key then Alcotest.fail "mangled key in mappable set")
+    mappable.Matching.keys
+
+let test_marker_kind_options () =
+  let program = Tutil.two_phase_program () in
+  let check options pred =
+    let mappable, _ = find ~options program in
+    Marker.Set.iter
+      (fun key ->
+        if not (pred key) then
+          Alcotest.failf "key %s violates options" (Marker.to_string key))
+      mappable.Matching.keys
+  in
+  check
+    { Matching.default_options with Matching.use_proc = false }
+    (fun k -> Marker.kind_of k <> Marker.Kproc);
+  check
+    { Matching.default_options with Matching.use_loop_entry = false }
+    (fun k -> Marker.kind_of k <> Marker.Kloop_entry);
+  check
+    { Matching.default_options with Matching.use_loop_back = false }
+    (fun k -> Marker.kind_of k <> Marker.Kloop_back)
+
+let test_counts_recorded () =
+  let program = Tutil.two_phase_program () in
+  let mappable, binaries = find program in
+  (* the agreed count equals the actual count in every binary *)
+  List.iter
+    (fun binary ->
+      let profile = Structprof.profile binary input in
+      Marker.Map.iter
+        (fun key count ->
+          Tutil.check_int
+            (Printf.sprintf "count agrees for %s" (Marker.to_string key))
+            count (Structprof.count profile key))
+        mappable.Matching.counts)
+    binaries
+
+let test_single_binary_all_mappable () =
+  let program = Tutil.two_phase_program () in
+  let binary = Lower.compile program (Config.v Isa.X86_32 Config.O0) in
+  let profile = Structprof.profile binary input in
+  let mappable =
+    Matching.find ~binaries:[ binary ] ~profiles:[ profile ] ()
+  in
+  (* with a single binary, every executed unmangled key is mappable *)
+  Tutil.check_int "all keys mappable"
+    (List.length (Structprof.keys profile))
+    (Matching.cardinal mappable)
+
+let test_invalid_args () =
+  Alcotest.check_raises "no binaries"
+    (Invalid_argument "Matching.find: no binaries") (fun () ->
+      ignore (Matching.find ~binaries:[] ~profiles:[] ()));
+  let program = Tutil.two_phase_program () in
+  let binary = Lower.compile program (Config.v Isa.X86_32 Config.O0) in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Matching.find: binaries/profiles length mismatch")
+    (fun () -> ignore (Matching.find ~binaries:[ binary ] ~profiles:[] ()))
+
+let test_candidates_superset () =
+  let program = Tutil.two_phase_program () in
+  let mappable, _ = find program in
+  Tutil.check_bool "candidates >= mappable" true
+    (mappable.Matching.candidates >= Matching.cardinal mappable)
+
+let () =
+  Alcotest.run "matching"
+    [ ( "intersection",
+        [ Tutil.quick "basic" test_basic_intersection;
+          Tutil.quick "inline recovery" test_inline_recovery_keeps_loops;
+          Tutil.quick "plain back edges" test_non_unrolled_back_edges_match;
+          Tutil.quick "recovery off" test_inline_recovery_off;
+          Tutil.quick "split unmappable" test_split_loops_unmappable;
+          Tutil.quick "mangled excluded" test_mangled_never_mappable;
+          Tutil.quick "counts recorded" test_counts_recorded;
+          Tutil.quick "single binary" test_single_binary_all_mappable;
+          Tutil.quick "candidates superset" test_candidates_superset ] );
+      ( "options",
+        [ Tutil.quick "marker kinds" test_marker_kind_options;
+          Tutil.quick "invalid args" test_invalid_args ] ) ]

@@ -1,0 +1,203 @@
+module Pipeline = Cbsp.Pipeline
+module Metrics = Cbsp.Metrics
+module Config = Cbsp_compiler.Config
+module Stats = Cbsp_util.Stats
+
+let input = Tutil.test_input
+let target = 20_000
+let configs = Tutil.paper_configs ()
+
+let run_both program =
+  let fli = Pipeline.run_fli program ~configs ~input ~target in
+  let vli = Pipeline.run_vli program ~configs ~input ~target in
+  (fli, vli)
+
+let check_binary_result (r : Pipeline.binary_result) =
+  Tutil.check_bool "positive insts" true (r.Pipeline.br_truth.Pipeline.t_insts > 0);
+  Tutil.check_bool "cpi >= 1" true (r.Pipeline.br_truth.Pipeline.t_cpi >= 1.0);
+  Tutil.check_bool "est cpi positive" true (r.Pipeline.br_est_cpi > 0.0);
+  Tutil.check_bool "phases non-empty" true (Array.length r.Pipeline.br_phases > 0);
+  Tutil.check_int "phase count = n_points" r.Pipeline.br_n_points
+    (Array.length r.Pipeline.br_phases);
+  let wsum =
+    Stats.sum (Array.map (fun p -> p.Pipeline.ph_weight) r.Pipeline.br_phases)
+  in
+  Tutil.check_close ~eps:1e-6 "phase weights sum to 1" 1.0 wsum;
+  (* the estimate is the weighted mix of SP CPIs *)
+  let est =
+    Stats.sum
+      (Array.map
+         (fun p -> p.Pipeline.ph_weight *. p.Pipeline.ph_sp_cpi)
+         r.Pipeline.br_phases)
+  in
+  Tutil.check_close ~eps:1e-6 "est = weighted sp cpi" r.Pipeline.br_est_cpi est;
+  Tutil.check_close ~eps:1e-3 "est cycles consistent"
+    (r.Pipeline.br_est_cpi *. float_of_int r.Pipeline.br_truth.Pipeline.t_insts)
+    r.Pipeline.br_est_cycles
+
+let test_fli_shape () =
+  let fli, _ = run_both (Tutil.two_phase_program ()) in
+  Tutil.check_int "four binaries" 4 (List.length fli.Pipeline.fli_binaries);
+  List.iter check_binary_result fli.Pipeline.fli_binaries;
+  List.iter2
+    (fun (r : Pipeline.binary_result) config ->
+      Tutil.check_bool "config order preserved" true
+        (Config.equal r.Pipeline.br_config config))
+    fli.Pipeline.fli_binaries configs
+
+let test_vli_shape () =
+  let _, vli = run_both (Tutil.two_phase_program ()) in
+  List.iter check_binary_result vli.Pipeline.vli_binaries;
+  (* shared clustering: same number of phases everywhere *)
+  let ks =
+    List.map (fun r -> r.Pipeline.br_n_points) vli.Pipeline.vli_binaries
+    |> List.sort_uniq compare
+  in
+  Tutil.check_int "one k across binaries" 1 (List.length ks);
+  let ns =
+    List.map (fun r -> r.Pipeline.br_n_intervals) vli.Pipeline.vli_binaries
+    |> List.sort_uniq compare
+  in
+  Tutil.check_int "same interval count across binaries" 1 (List.length ns);
+  Tutil.check_int "boundaries + 1 intervals"
+    (vli.Pipeline.vli_n_boundaries + 1)
+    (List.hd ns)
+
+let test_estimates_accurate () =
+  let fli, vli = run_both (Tutil.two_phase_program ()) in
+  List.iter
+    (fun (r : Pipeline.binary_result) ->
+      Tutil.check_bool
+        (Printf.sprintf "fli %s cpi error < 25%%" (Config.label r.Pipeline.br_config))
+        true (r.Pipeline.br_cpi_error < 0.25))
+    fli.Pipeline.fli_binaries;
+  List.iter
+    (fun (r : Pipeline.binary_result) ->
+      Tutil.check_bool
+        (Printf.sprintf "vli %s cpi error < 25%%" (Config.label r.Pipeline.br_config))
+        true (r.Pipeline.br_cpi_error < 0.25))
+    vli.Pipeline.vli_binaries
+
+let test_vli_truth_independent_of_method () =
+  (* FLI and VLI measure the same ground truth for each binary *)
+  let fli, vli = run_both (Tutil.two_phase_program ()) in
+  List.iter2
+    (fun (a : Pipeline.binary_result) (b : Pipeline.binary_result) ->
+      Tutil.check_int "same true insts" a.Pipeline.br_truth.Pipeline.t_insts
+        b.Pipeline.br_truth.Pipeline.t_insts;
+      Tutil.check_close ~eps:1e-6 "same true cycles"
+        a.Pipeline.br_truth.Pipeline.t_cycles b.Pipeline.br_truth.Pipeline.t_cycles)
+    fli.Pipeline.fli_binaries vli.Pipeline.vli_binaries
+
+let test_primary_choice () =
+  let program = Tutil.two_phase_program () in
+  List.iter
+    (fun primary ->
+      let vli = Pipeline.run_vli ~primary program ~configs ~input ~target in
+      Tutil.check_int "primary recorded" primary vli.Pipeline.vli_primary;
+      List.iter check_binary_result vli.Pipeline.vli_binaries)
+    [ 0; 1; 2; 3 ]
+
+let test_invalid_primary () =
+  let program = Tutil.two_phase_program () in
+  Alcotest.check_raises "primary out of range"
+    (Invalid_argument "Pipeline.run_vli: bad primary") (fun () ->
+      ignore (Pipeline.run_vli ~primary:7 program ~configs ~input ~target))
+
+let test_empty_configs () =
+  let program = Tutil.two_phase_program () in
+  Alcotest.check_raises "no configs fli"
+    (Invalid_argument "Pipeline.run_fli: no configs") (fun () ->
+      ignore (Pipeline.run_fli program ~configs:[] ~input ~target));
+  Alcotest.check_raises "no configs vli"
+    (Invalid_argument "Pipeline.run_vli: no configs") (fun () ->
+      ignore (Pipeline.run_vli program ~configs:[] ~input ~target))
+
+let test_split_program_large_intervals () =
+  (* mapping failure inflates VLI intervals far beyond the target *)
+  let program = Tutil.splittable_program () in
+  let vli =
+    Pipeline.run_vli program
+      ~configs:(Tutil.paper_configs ~loop_splitting:true ())
+      ~input ~target:5_000
+  in
+  let primary_result = List.hd vli.Pipeline.vli_binaries in
+  Tutil.check_bool "avg interval >> target" true
+    (primary_result.Pipeline.br_avg_interval > 3.0 *. 5_000.0)
+
+let test_metrics_extrapolated () =
+  let _, vli = run_both (Tutil.two_phase_program ()) in
+  List.iter
+    (fun (r : Pipeline.binary_result) ->
+      Tutil.check_bool "metrics present" true (Array.length r.Pipeline.br_metrics > 0);
+      Array.iter
+        (fun (m : Pipeline.metric) ->
+          Tutil.check_bool (m.Pipeline.m_name ^ " true finite") true
+            (Float.is_finite m.Pipeline.m_true_pki && m.Pipeline.m_true_pki >= 0.0);
+          (* extrapolated rates should track the truth loosely *)
+          if m.Pipeline.m_true_pki > 1.0 then
+            Tutil.check_bool (m.Pipeline.m_name ^ " est within 50%") true
+              (Float.abs (m.Pipeline.m_est_pki -. m.Pipeline.m_true_pki)
+               /. m.Pipeline.m_true_pki
+               < 0.5))
+        r.Pipeline.br_metrics;
+      (* dram accesses cannot exceed L1 misses pki *)
+      let find name =
+        Array.to_list r.Pipeline.br_metrics
+        |> List.find (fun m -> m.Pipeline.m_name = name)
+      in
+      let l1 = find "FLC(L1D)_misses" and dram = find "dram_accesses" in
+      Tutil.check_bool "dram <= l1 misses" true
+        (dram.Pipeline.m_true_pki <= l1.Pipeline.m_true_pki +. 1e-9))
+    vli.Pipeline.vli_binaries
+
+let test_vli_points_wellformed () =
+  let _, vli = run_both (Tutil.two_phase_program ()) in
+  let pts = vli.Pipeline.vli_points in
+  Tutil.check_int "labels = boundaries + 1"
+    (Array.length pts.Pipeline.pt_boundaries + 1)
+    (Array.length pts.Pipeline.pt_phase_of);
+  Array.iteri
+    (fun phase rep ->
+      Tutil.check_int "rep labelled with phase" phase
+        pts.Pipeline.pt_phase_of.(rep))
+    pts.Pipeline.pt_reps;
+  Tutil.check_int "target recorded" target pts.Pipeline.pt_target
+
+let test_find_binary () =
+  let fli, _ = run_both (Tutil.two_phase_program ()) in
+  let r = Pipeline.find_binary fli.Pipeline.fli_binaries ~label:"64o" in
+  Alcotest.(check string) "found the right one" "64o"
+    (Config.label r.Pipeline.br_config);
+  Tutil.check_bool "unknown label raises" true
+    (match Pipeline.find_binary fli.Pipeline.fli_binaries ~label:"zz" with
+     | (_ : Pipeline.binary_result) -> false
+     | exception Not_found -> true)
+
+let test_deterministic_pipelines () =
+  let program = Tutil.two_phase_program () in
+  let fli1 = Pipeline.run_fli program ~configs ~input ~target in
+  let fli2 = Pipeline.run_fli program ~configs ~input ~target in
+  List.iter2
+    (fun (a : Pipeline.binary_result) (b : Pipeline.binary_result) ->
+      Tutil.check_close ~eps:1e-12 "same estimate across runs"
+        a.Pipeline.br_est_cpi b.Pipeline.br_est_cpi)
+    fli1.Pipeline.fli_binaries fli2.Pipeline.fli_binaries
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "structure",
+        [ Tutil.quick "fli shape" test_fli_shape;
+          Tutil.quick "vli shape" test_vli_shape;
+          Tutil.quick "truth shared" test_vli_truth_independent_of_method;
+          Tutil.quick "find binary" test_find_binary;
+          Tutil.quick "deterministic" test_deterministic_pipelines ] );
+      ( "behaviour",
+        [ Tutil.quick "estimates accurate" test_estimates_accurate;
+          Tutil.quick "metrics extrapolated" test_metrics_extrapolated;
+          Tutil.quick "points wellformed" test_vli_points_wellformed;
+          Tutil.quick "primary choice" test_primary_choice;
+          Tutil.quick "split inflates intervals" test_split_program_large_intervals ] );
+      ( "validation",
+        [ Tutil.quick "invalid primary" test_invalid_primary;
+          Tutil.quick "empty configs" test_empty_configs ] ) ]

@@ -1,0 +1,185 @@
+module Table = Cbsp_report.Table
+module Experiment = Cbsp_report.Experiment
+module Figures = Cbsp_report.Figures
+
+let render_to_string f =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let out =
+    render_to_string
+      (Table.render
+         ~columns:
+           [ { Table.header = "name"; align = Table.Left };
+             { Table.header = "value"; align = Table.Right } ]
+         ~rows:[ [ "alpha"; "1" ]; [ "b"; "22" ] ])
+  in
+  Tutil.check_bool "has header" true (contains out "name");
+  Tutil.check_bool "has rows" true (contains out "alpha" && contains out "22");
+  (* all lines equal width *)
+  let widths =
+    String.split_on_char '\n' out
+    |> List.filter (fun l -> l <> "")
+    |> List.map String.length
+    |> List.sort_uniq compare
+  in
+  Tutil.check_int "rectangular" 1 (List.length widths)
+
+let test_table_ragged_rows () =
+  let out =
+    render_to_string
+      (Table.render
+         ~columns:
+           [ { Table.header = "a"; align = Table.Left };
+             { Table.header = "b"; align = Table.Left } ]
+         ~rows:[ [ "only" ] ])
+  in
+  Tutil.check_bool "short row padded" true (contains out "only")
+
+let test_bar_chart () =
+  let out =
+    render_to_string
+      (Table.bar_chart ~title:"T" ~unit_label:"u"
+         ~series:[ ("s1", [ 1.0; 2.0 ]); ("s2", [ 2.0; 4.0 ]) ]
+         ~labels:[ "x"; "y" ])
+  in
+  Tutil.check_bool "title present" true (contains out "T (u)");
+  Tutil.check_bool "bars present" true (contains out "#");
+  Tutil.check_bool "labels present" true (contains out "x" && contains out "y")
+
+let test_bar_chart_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Table.bar_chart: series \"s\" length mismatch") (fun () ->
+      render_to_string
+        (Table.bar_chart ~title:"T" ~unit_label:"u" ~series:[ ("s", [ 1.0 ]) ]
+           ~labels:[ "a"; "b" ])
+      |> ignore)
+
+let test_pct () =
+  Alcotest.(check string) "pct formats" "12.34%" (Table.pct 0.12341)
+
+let test_table1_static () =
+  let out = render_to_string Figures.table1 in
+  List.iter
+    (fun needle ->
+      Tutil.check_bool ("table1 mentions " ^ needle) true (contains out needle))
+    [ "FLC(L1D)"; "MLC(L2D)"; "LLC(L3D)"; "32KB"; "512KB"; "1024KB"; "2-way";
+      "8-way"; "16-way"; "250 cycles"; "WriteBack" ]
+
+(* One small end-to-end experiment drives every figure renderer. *)
+let small_suite =
+  lazy
+    (Experiment.run_suite ~names:[ "gcc"; "apsi" ] ~target:50_000
+       ~input:(Cbsp_source.Input.make ~name:"small" ~seed:42 ~scale:2 ())
+       ())
+
+let test_run_suite_structure () =
+  let t = Lazy.force small_suite in
+  Tutil.check_int "two workloads" 2 (List.length t.Experiment.results);
+  let gcc = Experiment.find t "gcc" in
+  Alcotest.(check string) "find works" "gcc" gcc.Experiment.wr_name;
+  Tutil.check_bool "took some time" true (gcc.Experiment.wr_seconds >= 0.0);
+  Tutil.check_bool "averages sane" true
+    (Experiment.avg_n_points_fli gcc >= 1.0
+     && Experiment.avg_n_points_vli gcc >= 1.0
+     && Experiment.avg_interval_vli gcc > 10_000.0
+     && Experiment.avg_cpi_error_fli gcc >= 0.0)
+
+let test_figures_render () =
+  let t = Lazy.force small_suite in
+  List.iter
+    (fun (name, f) ->
+      let out = render_to_string (f t) in
+      Tutil.check_bool (name ^ " mentions workloads") true
+        (contains out "gcc" || contains out "Phase" || contains out "Suite");
+      Tutil.check_bool (name ^ " non-empty") true (String.length out > 50))
+    [ ("figure1", Figures.figure1); ("figure2", Figures.figure2);
+      ("figure3", Figures.figure3); ("figure4", Figures.figure4);
+      ("figure5", Figures.figure5); ("table2", Figures.table2);
+      ("summary", Figures.summary) ]
+
+let test_timeline () =
+  let module Timeline = Cbsp_report.Timeline in
+  Alcotest.(check char) "digit" '3' (Timeline.phase_char 3);
+  Alcotest.(check char) "letter" 'a' (Timeline.phase_char 10);
+  Alcotest.(check char) "overflow" '?' (Timeline.phase_char 99);
+  Alcotest.(check char) "negative" '?' (Timeline.phase_char (-1));
+  let out =
+    render_to_string (Timeline.render ~width:8 ~phase_of:(Array.init 20 (fun i -> i mod 3)))
+  in
+  Tutil.check_bool "strip content" true (contains out "01201201");
+  Tutil.check_bool "wrapped with offsets" true
+    (contains out "0  " && contains out "8  " && contains out "16  ");
+  let legend =
+    render_to_string
+      (Timeline.render_legend
+         ~phases:
+           [| { Cbsp.Pipeline.ph_id = 0; ph_weight = 0.75; ph_true_cpi = 2.0;
+                ph_sp_cpi = 2.1 } |])
+  in
+  Tutil.check_bool "legend has weight" true (contains legend "0.750")
+
+let test_speedup_errors_accessor () =
+  let t = Lazy.force small_suite in
+  let gcc = Experiment.find t "gcc" in
+  List.iter
+    (fun pair ->
+      let e = Experiment.speedup_errors gcc ~pair ~fli:true in
+      Tutil.check_bool "error non-negative" true (e >= 0.0))
+    (Experiment.paper_pairs_same_platform @ Experiment.paper_pairs_cross_platform)
+
+let test_csv_export () =
+  let module Csv = Cbsp_report.Csv in
+  let t = Lazy.force small_suite in
+  List.iter
+    (fun what ->
+      let header, rows = Csv.figure_rows t ~what in
+      Tutil.check_bool (what ^ " header starts with workload") true
+        (List.hd header = "workload");
+      Tutil.check_int (what ^ " one row per workload")
+        (List.length t.Experiment.results)
+        (List.length rows);
+      List.iter
+        (fun row ->
+          Tutil.check_int (what ^ " row width") (List.length header)
+            (List.length row);
+          (* every data cell parses back as a float *)
+          List.iteri
+            (fun i cell ->
+              if i > 0 && float_of_string_opt cell = None then
+                Alcotest.failf "%s: non-numeric cell %S" what cell)
+            row)
+        rows;
+      let text = Csv.to_string t ~what in
+      Tutil.check_bool (what ^ " text has lines") true
+        (List.length (String.split_on_char '\n' text) >= 3))
+    [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "metrics" ];
+  Tutil.check_bool "unknown figure rejected" true
+    (match Cbsp_report.Csv.figure_rows t ~what:"fig9" with
+     | (_ : string list * string list list) -> false
+     | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "report"
+    [ ( "rendering",
+        [ Tutil.quick "table render" test_table_render;
+          Tutil.quick "ragged rows" test_table_ragged_rows;
+          Tutil.quick "bar chart" test_bar_chart;
+          Tutil.quick "bar chart mismatch" test_bar_chart_mismatch;
+          Tutil.quick "pct" test_pct;
+          Tutil.quick "table1" test_table1_static;
+          Tutil.quick "timeline" test_timeline ] );
+      ( "experiment",
+        [ Alcotest.test_case "run_suite structure" `Slow test_run_suite_structure;
+          Alcotest.test_case "figures render" `Slow test_figures_render;
+          Alcotest.test_case "speedup accessor" `Slow test_speedup_errors_accessor;
+          Alcotest.test_case "csv export" `Slow test_csv_export ] ) ]

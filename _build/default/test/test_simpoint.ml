@@ -1,0 +1,172 @@
+module Simpoint = Cbsp_simpoint.Simpoint
+module Stats = Cbsp_util.Stats
+module Rng = Cbsp_util.Rng
+
+(* Synthetic interval population: three code signatures (disjoint block
+   usage) with known proportions. *)
+let signature_data ?(n = 90) () =
+  let rng = Rng.create ~seed:31 in
+  let dims = 30 in
+  let bbv_of_kind kind =
+    let v = Array.make dims 0.0 in
+    for j = 0 to 9 do
+      v.((kind * 10) + j) <- 50.0 +. Rng.float rng
+    done;
+    v
+  in
+  let kinds = Array.init n (fun i -> i mod 3) in
+  let bbvs = Array.map bbv_of_kind kinds in
+  let weights = Array.make n 1000.0 in
+  (kinds, weights, bbvs)
+
+let test_recovers_phases () =
+  let kinds, weights, bbvs = signature_data () in
+  let sp = Simpoint.pick ~weights ~bbvs () in
+  Tutil.check_int "three phases" 3 sp.Simpoint.k;
+  (* all intervals of one kind share a phase *)
+  Array.iteri
+    (fun i kind ->
+      let first = sp.Simpoint.phase_of.(Array.to_list kinds |> List.mapi (fun j k -> (j, k))
+                                        |> List.find (fun (_, k) -> k = kind) |> fst) in
+      Tutil.check_int "kind maps to one phase" first sp.Simpoint.phase_of.(i))
+    kinds
+
+let test_weights_sum_to_one () =
+  let _, weights, bbvs = signature_data () in
+  let sp = Simpoint.pick ~weights ~bbvs () in
+  let total =
+    Array.fold_left (fun acc p -> acc +. p.Simpoint.weight) 0.0 sp.Simpoint.points
+  in
+  Tutil.check_close ~eps:1e-9 "weights sum to 1" 1.0 total
+
+let test_rep_in_own_phase () =
+  let _, weights, bbvs = signature_data () in
+  let sp = Simpoint.pick ~weights ~bbvs () in
+  Array.iter
+    (fun p ->
+      Tutil.check_int "rep labelled with its phase" p.Simpoint.phase
+        sp.Simpoint.phase_of.(p.Simpoint.rep))
+    sp.Simpoint.points
+
+let test_phase_weight_matches_population () =
+  let _, weights, bbvs = signature_data ~n:90 () in
+  let sp = Simpoint.pick ~weights ~bbvs () in
+  Array.iter
+    (fun p ->
+      (* kinds are equally frequent, so each phase holds 1/3 of weight *)
+      Tutil.check_close ~eps:1e-6 "phase weight 1/3" (1.0 /. 3.0) p.Simpoint.weight)
+    sp.Simpoint.points
+
+let test_max_k_respected () =
+  let _, weights, bbvs = signature_data () in
+  let config = { Simpoint.default_config with Simpoint.max_k = 2 } in
+  let sp = Simpoint.pick ~config ~weights ~bbvs () in
+  Tutil.check_bool "k <= max_k" true (sp.Simpoint.k <= 2)
+
+let test_single_interval () =
+  let sp = Simpoint.pick ~weights:[| 5.0 |] ~bbvs:[| [| 1.0; 2.0 |] |] () in
+  Tutil.check_int "one phase" 1 sp.Simpoint.k;
+  Tutil.check_int "rep is the interval" 0 sp.Simpoint.points.(0).Simpoint.rep;
+  Tutil.check_close ~eps:1e-9 "weight 1" 1.0 sp.Simpoint.points.(0).Simpoint.weight
+
+let test_estimate () =
+  let _, weights, bbvs = signature_data () in
+  let sp = Simpoint.pick ~weights ~bbvs () in
+  (* metric = phase id of the rep; estimate = sum w_p * p *)
+  let expected =
+    Array.fold_left
+      (fun acc p -> acc +. (p.Simpoint.weight *. float_of_int p.Simpoint.phase))
+      0.0 sp.Simpoint.points
+  in
+  let est =
+    Simpoint.estimate sp ~metric_of_rep:(fun rep ->
+        float_of_int sp.Simpoint.phase_of.(rep))
+  in
+  Tutil.check_close ~eps:1e-9 "estimate is weighted avg" expected est
+
+let test_invalid_inputs () =
+  Alcotest.check_raises "no intervals"
+    (Invalid_argument "Simpoint.pick: no intervals") (fun () ->
+      ignore (Simpoint.pick ~weights:[||] ~bbvs:[||] ()));
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Simpoint.pick: non-positive weight") (fun () ->
+      ignore (Simpoint.pick ~weights:[| 0.0 |] ~bbvs:[| [| 1.0 |] |] ()))
+
+let test_deterministic () =
+  let _, weights, bbvs = signature_data () in
+  let s1 = Simpoint.pick ~weights ~bbvs () in
+  let s2 = Simpoint.pick ~weights ~bbvs () in
+  Tutil.check_bool "same result" true (s1 = s2)
+
+let test_bic_scores_exposed () =
+  let _, weights, bbvs = signature_data () in
+  let sp = Simpoint.pick ~weights ~bbvs () in
+  Tutil.check_int "one score per k"
+    (min Simpoint.default_config.Simpoint.max_k 90)
+    (List.length sp.Simpoint.bic_scores)
+
+let test_early_policy_picks_earliest () =
+  let _, weights, bbvs = signature_data () in
+  let config =
+    { Simpoint.default_config with Simpoint.rep_policy = Simpoint.Early 0.05 }
+  in
+  let sp = Simpoint.pick ~config ~weights ~bbvs () in
+  let centroid = Simpoint.pick ~weights ~bbvs () in
+  (* same clustering, but representatives never later than centroid's *)
+  Tutil.check_int "same k" centroid.Simpoint.k sp.Simpoint.k;
+  Array.iteri
+    (fun i p ->
+      Tutil.check_bool "early rep <= centroid rep" true
+        (p.Simpoint.rep <= centroid.Simpoint.points.(i).Simpoint.rep);
+      Tutil.check_int "early rep in own phase" p.Simpoint.phase
+        sp.Simpoint.phase_of.(p.Simpoint.rep))
+    sp.Simpoint.points;
+  (* with EXACTLY identical BBVs per kind, the earliest occurrence of
+     each kind must be chosen: intervals 0, 1, 2 *)
+  let dims = 30 in
+  let exact_bbv kind =
+    Array.init dims (fun j -> if j / 10 = kind then 7.0 else 0.0)
+  in
+  let bbvs = Array.init 60 (fun i -> exact_bbv (i mod 3)) in
+  let weights = Array.make 60 1.0 in
+  let config =
+    { Simpoint.default_config with
+      Simpoint.rep_policy = Simpoint.Early 0.0; max_k = 3 }
+  in
+  let sp = Simpoint.pick ~config ~weights ~bbvs () in
+  let reps =
+    Array.to_list sp.Simpoint.points
+    |> List.map (fun p -> p.Simpoint.rep)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "earliest of each kind" [ 0; 1; 2 ] reps
+
+let test_binary_search_agrees () =
+  let _, weights, bbvs = signature_data () in
+  let config =
+    { Simpoint.default_config with Simpoint.k_search = Simpoint.Binary_search }
+  in
+  let sp = Simpoint.pick ~config ~weights ~bbvs () in
+  (* three clean signatures: both searches must find k = 3, and the
+     binary search must have clustered strictly fewer k values *)
+  Tutil.check_int "binary search finds k=3" 3 sp.Simpoint.k;
+  Tutil.check_bool "fewer clusterings evaluated" true
+    (List.length sp.Simpoint.bic_scores
+     < Simpoint.default_config.Simpoint.max_k)
+
+let () =
+  Alcotest.run "simpoint"
+    [ ( "pick",
+        [ Tutil.quick "recovers phases" test_recovers_phases;
+          Tutil.quick "weights sum to 1" test_weights_sum_to_one;
+          Tutil.quick "rep in own phase" test_rep_in_own_phase;
+          Tutil.quick "phase weights" test_phase_weight_matches_population;
+          Tutil.quick "max_k respected" test_max_k_respected;
+          Tutil.quick "single interval" test_single_interval;
+          Tutil.quick "estimate" test_estimate;
+          Tutil.quick "invalid inputs" test_invalid_inputs;
+          Tutil.quick "deterministic" test_deterministic;
+          Tutil.quick "bic scores exposed" test_bic_scores_exposed ] );
+      ( "policies",
+        [ Tutil.quick "early representatives" test_early_policy_picks_earliest;
+          Tutil.quick "binary k search" test_binary_search_agrees ] ) ]

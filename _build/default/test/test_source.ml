@@ -1,0 +1,200 @@
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+module Input = Cbsp_source.Input
+module Validate = Cbsp_source.Validate
+
+let build_ok f =
+  let b = B.create ~name:"t" in
+  f b
+
+let test_array_ids_dense () =
+  let b = B.create ~name:"t" in
+  let a0 = B.data_array b ~name:"a" ~elem_bytes:8 ~length:10 in
+  let a1 = B.pointer_array b ~name:"b" ~length:20 in
+  Tutil.check_int "first id" 0 a0;
+  Tutil.check_int "second id" 1 a1;
+  Alcotest.(check (list (pair int int)))
+    "declared_arrays order"
+    [ (0, 10); (1, 20) ]
+    (B.declared_arrays b)
+
+let test_lines_unique () =
+  let program =
+    build_ok (fun b ->
+        let a = B.data_array b ~name:"a" ~elem_bytes:8 ~length:16 in
+        B.proc b ~name:"main"
+          [ B.loop b ~trips:(Ast.Fixed 2)
+              [ B.work b ~insts:10 ~accesses:[ B.seq ~arr:a ~count:1 () ] ();
+                B.work b ~insts:20 () ] ];
+        B.finish b ~main:"main")
+  in
+  let lines = ref [] in
+  Ast.iter_stmts
+    (fun stmt ->
+      let line =
+        match stmt with
+        | Ast.Work w -> w.Ast.work_line
+        | Ast.Call { call_line; _ } -> call_line
+        | Ast.Loop l -> l.Ast.loop_line
+        | Ast.Select s -> s.Ast.sel_line
+      in
+      lines := line :: !lines)
+    program;
+  let sorted = List.sort_uniq compare !lines in
+  Tutil.check_int "all lines distinct" (List.length !lines) (List.length sorted)
+
+let expect_invalid f =
+  match f () with
+  | (_ : Ast.program) -> Alcotest.fail "expected Validate.Invalid"
+  | exception Validate.Invalid _ -> ()
+
+let test_unknown_callee () =
+  expect_invalid (fun () ->
+      let b = B.create ~name:"t" in
+      B.proc b ~name:"main" [ B.call b "nonexistent" ];
+      B.finish b ~main:"main")
+
+let test_unknown_main () =
+  expect_invalid (fun () ->
+      let b = B.create ~name:"t" in
+      B.proc b ~name:"helper" [ B.work b ~insts:1 () ];
+      B.finish b ~main:"main")
+
+let test_recursion_rejected () =
+  expect_invalid (fun () ->
+      let b = B.create ~name:"t" in
+      B.proc b ~name:"a" [ B.call b "b" ];
+      B.proc b ~name:"b" [ B.call b "a" ];
+      B.proc b ~name:"main" [ B.call b "a" ];
+      B.finish b ~main:"main")
+
+let test_self_recursion_rejected () =
+  expect_invalid (fun () ->
+      let b = B.create ~name:"t" in
+      B.proc b ~name:"main" [ B.call b "main" ];
+      B.finish b ~main:"main")
+
+let test_duplicate_proc_rejected () =
+  expect_invalid (fun () ->
+      let b = B.create ~name:"t" in
+      B.proc b ~name:"main" [ B.work b ~insts:1 () ];
+      B.proc b ~name:"main" [ B.work b ~insts:2 () ];
+      B.finish b ~main:"main")
+
+let test_empty_body_rejected () =
+  expect_invalid (fun () ->
+      let b = B.create ~name:"t" in
+      B.proc b ~name:"empty" [];
+      B.proc b ~name:"main" [ B.work b ~insts:1 () ];
+      B.finish b ~main:"main")
+
+let test_builder_guards () =
+  let b = B.create ~name:"t" in
+  Alcotest.check_raises "zero insts"
+    (Invalid_argument "Builder: work insts must be positive") (fun () ->
+      ignore (B.work b ~insts:0 ()));
+  Alcotest.check_raises "bad array length"
+    (Invalid_argument "Builder: array length must be positive") (fun () ->
+      ignore (B.data_array b ~name:"x" ~elem_bytes:8 ~length:0));
+  Alcotest.check_raises "bad write ratio"
+    (Invalid_argument "Builder: write_ratio out of [0,1]") (fun () ->
+      ignore (B.seq ~write_ratio:1.5 ~arr:0 ~count:1 ()));
+  Alcotest.check_raises "empty select"
+    (Invalid_argument "Builder: select needs arms") (fun () ->
+      ignore (B.select b [||]))
+
+let test_call_depth () =
+  let program =
+    build_ok (fun b ->
+        B.proc b ~name:"leaf" [ B.work b ~insts:1 () ];
+        B.proc b ~name:"mid" [ B.call b "leaf" ];
+        B.proc b ~name:"main" [ B.call b "mid" ];
+        B.finish b ~main:"main")
+  in
+  Tutil.check_int "depth" 2 (Validate.call_depth program);
+  let flat = Tutil.single_loop_program () in
+  Tutil.check_int "flat depth" 0 (Validate.call_depth flat)
+
+let test_trips_eval () =
+  let input = Input.make ~seed:5 ~scale:3 () in
+  Tutil.check_int "fixed" 7
+    (Input.eval_trips (Ast.Fixed 7) input ~line:1 ~entry_index:0);
+  Tutil.check_int "scaled" 16
+    (Input.eval_trips (Ast.Scaled { base = 10; per_scale = 2 }) input ~line:1
+       ~entry_index:0);
+  Tutil.check_int "negative clamped" 0
+    (Input.eval_trips (Ast.Fixed (-3)) input ~line:1 ~entry_index:0)
+
+let test_jitter_trips () =
+  let input = Input.make ~seed:5 ~scale:1 () in
+  let trips = Ast.Jitter { mean = 100; spread = 10 } in
+  let values =
+    List.init 200 (fun i -> Input.eval_trips trips input ~line:9 ~entry_index:i)
+  in
+  List.iter
+    (fun v ->
+      if v < 90 || v > 110 then Alcotest.failf "jitter out of range: %d" v)
+    values;
+  (* deterministic *)
+  let again =
+    List.init 200 (fun i -> Input.eval_trips trips input ~line:9 ~entry_index:i)
+  in
+  Alcotest.(check (list int)) "jitter deterministic" values again;
+  (* actually varies *)
+  Tutil.check_bool "jitter varies" true
+    (List.length (List.sort_uniq compare values) > 5)
+
+let test_select_arm () =
+  let input = Input.make ~seed:5 ~scale:1 () in
+  let arms =
+    List.init 500 (fun i -> Input.select_arm input ~line:4 ~exec_index:i ~arms:3)
+  in
+  List.iter
+    (fun a -> if a < 0 || a > 2 then Alcotest.failf "arm out of range: %d" a)
+    arms;
+  Tutil.check_bool "all arms used" true
+    (List.length (List.sort_uniq compare arms) = 3)
+
+let test_elem_bytes () =
+  let data = { Ast.arr_id = 0; arr_name = "d"; arr_kind = Ast.Data { elem_bytes = 8 };
+               arr_length = 1 } in
+  let ptr = { data with Ast.arr_kind = Ast.Pointer } in
+  Tutil.check_int "data unaffected" 8 (Ast.elem_bytes data ~pointer_bytes:4);
+  Tutil.check_int "pointer 32" 4 (Ast.elem_bytes ptr ~pointer_bytes:4);
+  Tutil.check_int "pointer 64" 8 (Ast.elem_bytes ptr ~pointer_bytes:8)
+
+let test_loop_lines () =
+  let program = Tutil.splittable_program () in
+  Tutil.check_int "three loops" 3 (List.length (Ast.loop_lines program))
+
+let prop_jitter_within_spread =
+  QCheck.Test.make ~name:"jitter within [mean-spread, mean+spread]" ~count:300
+    QCheck.(triple small_int (int_range 0 1000) (int_range 0 100))
+    (fun (seed, mean, spread) ->
+      let input = Input.make ~seed ~scale:1 () in
+      let v =
+        Input.eval_trips (Ast.Jitter { mean; spread }) input ~line:3 ~entry_index:7
+      in
+      v >= max 0 (mean - spread) && v <= mean + spread)
+
+let () =
+  Alcotest.run "source"
+    [ ( "builder",
+        [ Tutil.quick "array ids dense" test_array_ids_dense;
+          Tutil.quick "lines unique" test_lines_unique;
+          Tutil.quick "builder guards" test_builder_guards ] );
+      ( "validate",
+        [ Tutil.quick "unknown callee" test_unknown_callee;
+          Tutil.quick "unknown main" test_unknown_main;
+          Tutil.quick "recursion" test_recursion_rejected;
+          Tutil.quick "self recursion" test_self_recursion_rejected;
+          Tutil.quick "duplicate proc" test_duplicate_proc_rejected;
+          Tutil.quick "empty body" test_empty_body_rejected;
+          Tutil.quick "call depth" test_call_depth ] );
+      ( "semantics",
+        [ Tutil.quick "trips eval" test_trips_eval;
+          Tutil.quick "jitter trips" test_jitter_trips;
+          Tutil.quick "select arms" test_select_arm;
+          Tutil.quick "elem bytes" test_elem_bytes;
+          Tutil.quick "loop lines" test_loop_lines ] );
+      ("properties", [ Tutil.qcheck_case prop_jitter_within_spread ]) ]

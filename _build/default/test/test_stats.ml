@@ -1,0 +1,120 @@
+module Stats = Cbsp_util.Stats
+
+let test_mean () =
+  Tutil.check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  Tutil.check_float "mean empty" 0.0 (Stats.mean [||])
+
+let test_weighted_mean () =
+  Tutil.check_float "uniform weights = mean" 2.0
+    (Stats.weighted_mean ~weights:[| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |]);
+  Tutil.check_float "weights pull" 3.0
+    (Stats.weighted_mean ~weights:[| 0.0; 1.0 |] [| 1.0; 3.0 |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats.weighted_mean: length mismatch") (fun () ->
+      ignore (Stats.weighted_mean ~weights:[| 1.0 |] [| 1.0; 2.0 |]));
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Stats.weighted_mean: zero total weight") (fun () ->
+      ignore (Stats.weighted_mean ~weights:[| 0.0 |] [| 1.0 |]))
+
+let test_variance_stddev () =
+  Tutil.check_float "variance" 2.0 (Stats.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  Tutil.check_float "stddev" (sqrt 2.0) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  Tutil.check_float "variance single" 0.0 (Stats.variance [| 42.0 |])
+
+let test_geomean () =
+  Tutil.check_float "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive value") (fun () ->
+      ignore (Stats.geomean [| 1.0; 0.0 |]))
+
+let test_median_percentile () =
+  Tutil.check_float "median odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  Tutil.check_float "median even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  Tutil.check_float "p0 is min" 1.0 (Stats.percentile [| 3.0; 1.0; 2.0 |] ~p:0.0);
+  Tutil.check_float "p100 is max" 3.0 (Stats.percentile [| 3.0; 1.0; 2.0 |] ~p:100.0);
+  Tutil.check_float "p50 interpolates" 1.5
+    (Stats.percentile [| 1.0; 2.0 |] ~p:50.0)
+
+let test_errors () =
+  Tutil.check_float "relative error" 0.1
+    (Stats.relative_error ~truth:10.0 ~estimate:9.0);
+  Tutil.check_float "relative error symmetric magnitude" 0.1
+    (Stats.relative_error ~truth:10.0 ~estimate:11.0);
+  Tutil.check_float "signed error negative" (-0.1)
+    (Stats.signed_relative_error ~truth:10.0 ~estimate:9.0);
+  Alcotest.check_raises "zero truth"
+    (Invalid_argument "Stats.relative_error: zero truth") (fun () ->
+      ignore (Stats.relative_error ~truth:0.0 ~estimate:1.0))
+
+let test_sum_kahan () =
+  (* A classic case where naive summation loses the small terms. *)
+  let xs = Array.make 10_001 1e-10 in
+  xs.(0) <- 1e10;
+  let total = Stats.sum xs in
+  Tutil.check_close ~eps:1e-4 "kahan keeps small terms" (1e10 +. 1e-6) total
+
+let test_normalize () =
+  let n = Stats.normalize [| 1.0; 3.0 |] in
+  Tutil.check_float "normalize first" 0.25 n.(0);
+  Tutil.check_float "normalize second" 0.75 n.(1);
+  Alcotest.check_raises "zero sum"
+    (Invalid_argument "Stats.normalize: zero sum") (fun () ->
+      ignore (Stats.normalize [| 0.0; 0.0 |]))
+
+let test_sq_distance () =
+  Tutil.check_float "sq distance" 25.0
+    (Stats.sq_distance [| 0.0; 0.0 |] [| 3.0; 4.0 |]);
+  Tutil.check_float "distance to self" 0.0
+    (Stats.sq_distance [| 1.0; 2.0 |] [| 1.0; 2.0 |])
+
+let float_array_gen =
+  QCheck.(array_of_size (Gen.int_range 1 50) (float_range (-1000.0) 1000.0))
+
+let prop_normalize_sums_to_one =
+  QCheck.Test.make ~name:"normalize sums to 1" ~count:200
+    QCheck.(array_of_size (Gen.int_range 1 50) (float_range 0.001 1000.0))
+    (fun xs ->
+      let n = Stats.normalize xs in
+      Float.abs (Stats.sum n -. 1.0) < 1e-9)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:200
+    QCheck.(pair float_array_gen (float_range 0.0 100.0))
+    (fun (xs, p) ->
+      let v = Stats.percentile xs ~p in
+      let lo = Array.fold_left Float.min infinity xs in
+      let hi = Array.fold_left Float.max neg_infinity xs in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_mean_between_extremes =
+  QCheck.Test.make ~name:"mean within min/max" ~count:200 float_array_gen
+    (fun xs ->
+      let m = Stats.mean xs in
+      let lo = Array.fold_left Float.min infinity xs in
+      let hi = Array.fold_left Float.max neg_infinity xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_sq_distance_symmetric =
+  QCheck.Test.make ~name:"sq_distance symmetric" ~count:200
+    QCheck.(pair (array_of_size (Gen.return 8) (float_range (-10.0) 10.0))
+              (array_of_size (Gen.return 8) (float_range (-10.0) 10.0)))
+    (fun (a, b) ->
+      Float.abs (Stats.sq_distance a b -. Stats.sq_distance b a) < 1e-9)
+
+let () =
+  Alcotest.run "stats"
+    [ ( "descriptive",
+        [ Tutil.quick "mean" test_mean;
+          Tutil.quick "weighted mean" test_weighted_mean;
+          Tutil.quick "variance/stddev" test_variance_stddev;
+          Tutil.quick "geomean" test_geomean;
+          Tutil.quick "median/percentile" test_median_percentile;
+          Tutil.quick "error metrics" test_errors;
+          Tutil.quick "kahan sum" test_sum_kahan;
+          Tutil.quick "normalize" test_normalize;
+          Tutil.quick "sq_distance" test_sq_distance ] );
+      ( "properties",
+        [ Tutil.qcheck_case prop_normalize_sums_to_one;
+          Tutil.qcheck_case prop_percentile_bounded;
+          Tutil.qcheck_case prop_mean_between_extremes;
+          Tutil.qcheck_case prop_sq_distance_symmetric ] ) ]
