@@ -140,6 +140,52 @@ let artifact_tests =
              ~input:bench_input ~target:50_000)) ]
 
 (* ------------------------------------------------------------------ *)
+(* Engine benchmarks: suite scheduling strategies compared.            *)
+
+(* The seed's suite path, reconstructed exactly: per workload, FLI and
+   VLI each with a fresh sequential engine — no compile sharing, no
+   parallelism.  The baseline the job-graph engine is measured against. *)
+let sequential_unshared_suite names ~target ~input =
+  List.iter
+    (fun name ->
+      let entry = Cbsp_workloads.Registry.find name in
+      let program = entry.Cbsp_workloads.Registry.build () in
+      let configs =
+        Config.paper_four
+          ~loop_splitting:entry.Cbsp_workloads.Registry.loop_splitting ()
+      in
+      ignore (Pipeline.run_fli program ~configs ~input ~target);
+      ignore (Pipeline.run_vli program ~configs ~input ~target))
+    names
+
+let engine_comparison () =
+  let target = 50_000 and input = bench_input in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let jobs = Cbsp_engine.Scheduler.recommended_jobs () in
+  let seq = timed (fun () -> sequential_unshared_suite small_names ~target ~input) in
+  let memo =
+    timed (fun () ->
+        ignore (Experiment.run_suite ~names:small_names ~target ~input ~jobs:1 ()))
+  in
+  let par =
+    timed (fun () ->
+        ignore
+          (Experiment.run_suite ~names:small_names ~target ~input ~jobs ()))
+  in
+  Fmt.pr "  %-44s %8.3f s@." "seed path (sequential, unshared compiles)" seq;
+  Fmt.pr "  %-44s %8.3f s  (%.2fx)@." "engine suite, jobs=1 (memoized compiles)"
+    memo (seq /. memo);
+  Fmt.pr "  %-44s %8.3f s  (%.2fx)@."
+    (Fmt.str "engine suite, jobs=%d (parallel + memoized)" jobs)
+    par (seq /. par);
+  if jobs = 1 then
+    Fmt.pr "  (single-core machine: parallel speedup needs more cores)@."
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 
 let run_benchmarks tests ~quota_s =
@@ -192,10 +238,18 @@ let () =
   Fmt.pr "@.=== Paper-artifact benchmarks (reduced instances: %s) ===@."
     (String.concat ", " small_names);
   run_benchmarks artifact_tests ~quota_s:0.25;
+  Fmt.pr "@.=== Engine: suite scheduling (reduced suite: %s) ===@."
+    (String.concat ", " small_names);
+  engine_comparison ();
   Fmt.pr "@.=== Full-scale reproduction (21 workloads, reference input) ===@.";
   let t0 = Unix.gettimeofday () in
+  let jobs = Cbsp_engine.Scheduler.recommended_jobs () in
   let suite =
-    Experiment.run_suite ~progress:(fun n -> Fmt.epr "running %s...@." n) ()
+    Experiment.run_suite ~jobs
+      ~progress:(fun n -> Fmt.epr "running %s...@." n)
+      ()
   in
   Figures.all suite Format.std_formatter;
+  Fmt.pr "@.Per-stage timing (jobs=%d):@." jobs;
+  Experiment.timing_report suite Format.std_formatter;
   Fmt.pr "@.(full suite regenerated in %.1f s)@." (Unix.gettimeofday () -. t0)

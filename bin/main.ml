@@ -42,6 +42,29 @@ let primary_arg =
   let doc = "Primary binary index for mappable SimPoint (0=32u 1=32o 2=64u 3=64o)." in
   Arg.(value & opt int 0 & info [ "primary" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of parallel worker domains for independent pipeline jobs \
+     (workloads, binaries, follower runs).  1 (the default) is strictly \
+     sequential; results are bit-identical for any value.  0 means the \
+     number of cores."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+
+let timing_arg =
+  Arg.(value & flag
+       & info [ "timing" ]
+           ~doc:"Print the per-stage timing report (wall-clock and sizes \
+                 of every engine job) after the results.")
+
+let resolve_jobs jobs =
+  if jobs = 0 then Cbsp_engine.Scheduler.recommended_jobs ()
+  else if jobs < 0 then begin
+    Fmt.epr "bad --jobs %d@." jobs;
+    exit 2
+  end
+  else jobs
+
 let rep_arg =
   let doc =
     "Representative policy: 'centroid' (SimPoint default) or 'early[:TOL]' \
@@ -200,7 +223,7 @@ let print_metrics label (r : Pipeline.binary_result) =
     r.Pipeline.br_metrics
 
 let run_cmd =
-  let run name target scale seed max_k primary rep search metrics =
+  let run name target scale seed max_k primary rep search metrics jobs timing =
     let entry = Registry.find name in
     let program = entry.Registry.build () in
     let input = input_of ~scale ~seed in
@@ -208,9 +231,16 @@ let run_cmd =
     let configs =
       Config.paper_four ~loop_splitting:entry.Registry.loop_splitting ()
     in
-    let fli = Pipeline.run_fli ~sp_config program ~configs ~input ~target in
+    (* One engine for both pipelines: the four binaries compile once and
+       are shared; jobs > 1 runs independent per-binary work in
+       parallel. *)
+    let engine = Pipeline.create_engine ~jobs:(resolve_jobs jobs) () in
+    let fli =
+      Pipeline.run_fli ~sp_config ~engine program ~configs ~input ~target
+    in
     let vli =
-      Pipeline.run_vli ~sp_config ~primary program ~configs ~input ~target
+      Pipeline.run_vli ~sp_config ~primary ~engine program ~configs ~input
+        ~target
     in
     Fmt.pr "== %s (target=%d, scale=%d)@." name target scale;
     Fmt.pr "mappable keys: %d of %d candidates; %d VLI boundaries@."
@@ -223,6 +253,12 @@ let run_cmd =
     if metrics then begin
       Fmt.pr "@.Extra metrics (events per 1000 instructions):@.";
       List.iter (print_metrics "vli") vli.Pipeline.vli_binaries
+    end;
+    if timing then begin
+      let computes, hits = Pipeline.compile_stats engine in
+      Fmt.pr "@.Per-stage timing (compiles: %d run, %d memoized):@." computes
+        hits;
+      Cbsp_engine.Timing.pp_report ppf (Pipeline.timings engine)
     end
   in
   let name_arg =
@@ -235,7 +271,8 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Run both SimPoint methods on one workload and compare them")
     Term.(const run $ name_arg $ target_arg $ scale_arg $ seed_arg $ max_k_arg
-          $ primary_arg $ rep_arg $ search_arg $ metrics_arg)
+          $ primary_arg $ rep_arg $ search_arg $ metrics_arg $ jobs_arg
+          $ timing_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -252,7 +289,7 @@ let experiment_cmd =
     let doc = "Also write the figure data as CSV files into this directory." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc)
   in
-  let run what workloads target scale seed max_k primary csv =
+  let run what workloads target scale seed max_k primary csv jobs timing =
     let names = workload_names workloads in
     if what = "table1" then Figures.table1 ppf
     else begin
@@ -266,9 +303,16 @@ let experiment_cmd =
       let t =
         Experiment.run_suite ~names ~target ~input:(input_of ~scale ~seed)
           ~sp_config:(sp_config_of ~max_k ()) ~primary
+          ~jobs:(resolve_jobs jobs)
           ~progress:(fun n -> Fmt.epr "running %s...@." n)
           ()
       in
+      if timing then begin
+        Fmt.pr "Per-stage timing (suite, %d job%s):@." t.Experiment.jobs
+          (if t.Experiment.jobs = 1 then "" else "s");
+        Experiment.timing_report t ppf;
+        Fmt.pr "@."
+      end;
       (match what with
        | "fig1" -> Figures.figure1 t ppf
        | "fig2" -> Figures.figure2 t ppf
@@ -295,7 +339,7 @@ let experiment_cmd =
        ~doc:"Regenerate the paper's tables and figures (Section 5)")
     Term.(
       const run $ what_arg $ workloads_arg $ target_arg $ scale_arg $ seed_arg
-      $ max_k_arg $ primary_arg $ csv_arg)
+      $ max_k_arg $ primary_arg $ csv_arg $ jobs_arg $ timing_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ablation                                                            *)

@@ -1,12 +1,17 @@
 module Config = Cbsp_compiler.Config
 module Lower = Cbsp_compiler.Lower
 module Binary = Cbsp_compiler.Binary
+module Marker = Cbsp_compiler.Marker
 module Executor = Cbsp_exec.Executor
 module Interval = Cbsp_profile.Interval
 module Structprof = Cbsp_profile.Structprof
 module Simpoint = Cbsp_simpoint.Simpoint
 module Cpu = Cbsp_cache.Cpu
 module Stats = Cbsp_util.Stats
+module Scheduler = Cbsp_engine.Scheduler
+module Store = Cbsp_engine.Store
+module Timing = Cbsp_engine.Timing
+module Stage = Cbsp_engine.Stage
 
 type truth = { t_insts : int; t_cycles : float; t_cpi : float }
 
@@ -52,6 +57,54 @@ type vli_result = {
 
 let default_target = 100_000
 
+(* ------------------------------------------------------------------ *)
+(* The engine: scheduler width + artifact stores + timing sink.        *)
+
+type engine = {
+  eng_jobs : int;
+  eng_binaries : Binary.t Store.t;
+  eng_profiles : Structprof.t Store.t;
+  eng_timing : Timing.sink;
+}
+
+let create_engine ?(jobs = 1) () =
+  { eng_jobs = max 1 jobs;
+    eng_binaries = Store.create ~name:"binaries" ();
+    eng_profiles = Store.create ~name:"profiles" ();
+    eng_timing = Timing.create () }
+
+let timings eng = Timing.records eng.eng_timing
+
+let compile_stats eng = (Store.computes eng.eng_binaries, Store.hits eng.eng_binaries)
+
+(* Artifacts are keyed by the content of everything that determines them:
+   a compiled binary by (program, config), a structure profile by
+   (program, config, input) — the binary itself is a pure function of the
+   first two, so its key doubles as part of the profile's. *)
+let binary_key program (config : Config.t) = Store.digest (program, config)
+
+let compile eng (program : Cbsp_source.Ast.program) config =
+  Store.find_or_compute eng.eng_binaries ~key:(binary_key program config)
+    (fun () ->
+      Timing.time eng.eng_timing ~stage:Stage.Compile
+        ~label:(program.Cbsp_source.Ast.prog_name ^ "/" ^ Config.label config)
+        ~in_size:(List.length program.Cbsp_source.Ast.procs)
+        ~out_size:(fun b -> b.Binary.n_blocks)
+        (fun () -> Lower.compile program config))
+
+let struct_profile eng (program : Cbsp_source.Ast.program) (binary : Binary.t)
+    input =
+  Store.find_or_compute eng.eng_profiles
+    ~key:(Store.digest (binary_key program binary.Binary.config, input))
+    (fun () ->
+      Timing.time eng.eng_timing ~stage:Stage.Struct_profile
+        ~label:
+          (program.Cbsp_source.Ast.prog_name ^ "/"
+          ^ Config.label binary.Binary.config)
+        ~in_size:binary.Binary.n_blocks
+        ~out_size:(fun p -> Marker.Map.cardinal p)
+        (fun () -> Structprof.profile binary input))
+
 (* Cluster the non-empty intervals; extend phase labels over empty
    (trailing) intervals by inheriting the previous label so every interval
    index has a phase and representative indices refer to the original
@@ -86,6 +139,12 @@ let cluster ~sp_config (intervals : Interval.interval array) =
     Array.map (fun p -> live_idx.(p.Simpoint.rep)) sp.Simpoint.points
   in
   { cl_phase_of = phase_of; cl_reps = reps; cl_n_phases = sp.Simpoint.k }
+
+let timed_cluster eng ~label ~sp_config intervals =
+  Timing.time eng.eng_timing ~stage:Stage.Clustering ~label
+    ~in_size:(Array.length intervals)
+    ~out_size:(fun c -> c.cl_n_phases)
+    (fun () -> cluster ~sp_config intervals)
 
 (* Per-binary phase statistics and the SimPoint CPI estimate, from this
    binary's own per-interval measurements and the (shared or per-binary)
@@ -171,18 +230,34 @@ let summarize ~config ~truth ~counter_names ~clustering
     br_n_points = k; br_n_intervals = Array.length intervals;
     br_avg_interval = avg_interval; br_phases = phases; br_metrics = metrics }
 
+let timed_summarize eng ~label ~config ~truth ~counter_names ~clustering
+    intervals =
+  Timing.time eng.eng_timing ~stage:Stage.Summarize ~label
+    ~in_size:(Array.length intervals)
+    ~out_size:(fun r -> Array.length r.br_phases)
+    (fun () -> summarize ~config ~truth ~counter_names ~clustering intervals)
+
 let measure_truth totals cpu =
   let insts = totals.Executor.insts in
   { t_insts = insts; t_cycles = Cpu.cycles cpu;
     t_cpi = (if insts = 0 then 0.0 else Cpu.cycles cpu /. float_of_int insts) }
 
-let run_fli ?(sp_config = Simpoint.default_config) ?cache_config program ~configs
-    ~input ~target =
+let job_label (program : Cbsp_source.Ast.program) config ~kind =
+  program.Cbsp_source.Ast.prog_name ^ "/" ^ Config.label config ^ "/" ^ kind
+
+let run_fli ?(sp_config = Simpoint.default_config) ?cache_config ?engine program
+    ~configs ~input ~target =
   if configs = [] then invalid_arg "Pipeline.run_fli: no configs";
+  let eng = match engine with Some e -> e | None -> create_engine () in
+  (* One job per configuration: compile (memoized), one full execution
+     collecting fixed-length intervals, per-binary clustering, summary.
+     Jobs are independent, so the scheduler may run them concurrently;
+     results keep the configs' order either way. *)
   let binaries =
-    List.map
+    Scheduler.parallel_map ~jobs:eng.eng_jobs
       (fun (config : Config.t) ->
-        let binary = Lower.compile program config in
+        let binary = compile eng program config in
+        let label = job_label program config ~kind:"fli" in
         let cpu = Cpu.create ?config:cache_config () in
         let iobs, read =
           Interval.fli_observer ~n_blocks:binary.Binary.n_blocks ~target
@@ -193,29 +268,53 @@ let run_fli ?(sp_config = Simpoint.default_config) ?cache_config program ~config
         (* The interval builder must observe each block BEFORE the CPU
            charges it, so a cut's cycle sample excludes the block that
            starts the next interval. *)
-        let totals =
-          Executor.run binary input (Executor.compose [ iobs; Cpu.observer cpu ])
+        let totals, intervals =
+          Timing.time eng.eng_timing ~stage:Stage.Interval_collection ~label
+            ~in_size:binary.Binary.n_blocks
+            ~out_size:(fun (t, _) -> t.Executor.insts)
+            (fun () ->
+              let totals =
+                Executor.run binary input
+                  (Executor.compose [ iobs; Cpu.observer cpu ])
+              in
+              (totals, read ()))
         in
-        let intervals = read () in
-        let clustering = cluster ~sp_config intervals in
-        summarize ~config ~truth:(measure_truth totals cpu)
+        let clustering = timed_cluster eng ~label ~sp_config intervals in
+        timed_summarize eng ~label ~config ~truth:(measure_truth totals cpu)
           ~counter_names:(Cpu.extra_counter_names cpu) ~clustering intervals)
       configs
   in
   { fli_binaries = binaries; fli_target = target }
 
 let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
-    ?(primary = 0) program ~configs ~input ~target =
+    ?(primary = 0) ?engine program ~configs ~input ~target =
   let n = List.length configs in
   if n = 0 then invalid_arg "Pipeline.run_vli: no configs";
   if primary < 0 || primary >= n then invalid_arg "Pipeline.run_vli: bad primary";
-  let binaries = List.map (Lower.compile program) configs in
-  (* Step 1: call & branch profile of every binary. *)
-  let profiles = List.map (fun b -> Structprof.profile b input) binaries in
+  let eng = match engine with Some e -> e | None -> create_engine () in
+  let prog_name = program.Cbsp_source.Ast.prog_name in
+  let binaries =
+    Scheduler.parallel_map ~jobs:eng.eng_jobs (compile eng program) configs
+  in
+  (* Step 1: call & branch profile of every binary (memoized; one job per
+     binary). *)
+  let profiles =
+    Scheduler.parallel_map ~jobs:eng.eng_jobs
+      (fun b -> struct_profile eng program b input)
+      binaries
+  in
   (* Step 2: mappable points across all binaries. *)
-  let mappable = Matching.find ?options:match_options ~binaries ~profiles () in
+  let mappable =
+    Timing.time eng.eng_timing ~stage:Stage.Matching ~label:(prog_name ^ "/vli")
+      ~in_size:(List.fold_left (fun a p -> a + Marker.Map.cardinal p) 0 profiles)
+      ~out_size:(fun m -> Matching.cardinal m)
+      (fun () -> Matching.find ?options:match_options ~binaries ~profiles ())
+  in
   (* Steps 3-4: VLIs and simulation points on the primary binary. *)
   let primary_binary = List.nth binaries primary in
+  let primary_label =
+    job_label program primary_binary.Binary.config ~kind:"vli"
+  in
   let primary_cpu = Cpu.create ?config:cache_config () in
   let robs, read =
     Interval.vli_recorder ~n_blocks:primary_binary.Binary.n_blocks ~target
@@ -224,23 +323,37 @@ let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
       ~extras:(fun () -> Cpu.extra_counters primary_cpu)
       ()
   in
-  let primary_totals =
-    Executor.run primary_binary input
-      (Executor.compose [ robs; Cpu.observer primary_cpu ])
+  let primary_totals, (primary_intervals, boundaries) =
+    Timing.time eng.eng_timing ~stage:Stage.Interval_collection
+      ~label:primary_label ~in_size:primary_binary.Binary.n_blocks
+      ~out_size:(fun (t, _) -> t.Executor.insts)
+      (fun () ->
+        let totals =
+          Executor.run primary_binary input
+            (Executor.compose [ robs; Cpu.observer primary_cpu ])
+        in
+        (totals, read ()))
   in
-  let primary_intervals, boundaries = read () in
-  let clustering = cluster ~sp_config primary_intervals in
+  let clustering =
+    timed_cluster eng ~label:primary_label ~sp_config primary_intervals
+  in
+  let primary_result =
+    timed_summarize eng ~label:primary_label
+      ~config:primary_binary.Binary.config
+      ~truth:(measure_truth primary_totals primary_cpu)
+      ~counter_names:(Cpu.extra_counter_names primary_cpu) ~clustering
+      primary_intervals
+  in
   (* Steps 5-6: map boundaries into every binary (free: they are
-     (marker, count) pairs) and recompute weights per binary. *)
+     (marker, count) pairs) and recompute weights per binary.  Follower
+     runs are independent of each other, so they are scheduler jobs
+     too. *)
   let results =
-    List.mapi
-      (fun i (binary : Binary.t) ->
-        if i = primary then
-          summarize ~config:binary.Binary.config
-            ~truth:(measure_truth primary_totals primary_cpu)
-            ~counter_names:(Cpu.extra_counter_names primary_cpu)
-            ~clustering primary_intervals
+    Scheduler.parallel_map ~jobs:eng.eng_jobs
+      (fun (i, (binary : Binary.t)) ->
+        if i = primary then primary_result
         else begin
+          let label = job_label program binary.Binary.config ~kind:"vli" in
           let cpu = Cpu.create ?config:cache_config () in
           let fobs, read_follow =
             Interval.vli_follower ~boundaries
@@ -248,17 +361,24 @@ let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
               ~extras:(fun () -> Cpu.extra_counters cpu)
               ()
           in
-          let totals =
-            Executor.run binary input
-              (Executor.compose [ fobs; Cpu.observer cpu ])
+          let totals, intervals =
+            Timing.time eng.eng_timing ~stage:Stage.Interval_collection ~label
+              ~in_size:binary.Binary.n_blocks
+              ~out_size:(fun (t, _) -> t.Executor.insts)
+              (fun () ->
+                let totals =
+                  Executor.run binary input
+                    (Executor.compose [ fobs; Cpu.observer cpu ])
+                in
+                (totals, read_follow ()))
           in
-          let intervals = read_follow () in
           if Array.length intervals <> Array.length primary_intervals then
             failwith "Pipeline.run_vli: interval count diverged across binaries";
-          summarize ~config:binary.Binary.config ~truth:(measure_truth totals cpu)
+          timed_summarize eng ~label ~config:binary.Binary.config
+            ~truth:(measure_truth totals cpu)
             ~counter_names:(Cpu.extra_counter_names cpu) ~clustering intervals
         end)
-      binaries
+      (List.mapi (fun i b -> (i, b)) binaries)
   in
   { vli_binaries = results; vli_primary = primary; vli_mappable = mappable;
     vli_n_boundaries = Array.length boundaries; vli_target = target;

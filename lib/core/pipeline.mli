@@ -81,9 +81,52 @@ type vli_result = {
 val default_target : int
 (** 100_000 — stands for the paper's 100M-instruction interval size. *)
 
+(** {1 The job-graph engine}
+
+    Both pipelines decompose into jobs — (stage, binary) pairs: compile,
+    structure profile, interval collection, clustering, summarize.  An
+    {!engine} carries the three pieces of machinery shared by those jobs:
+
+    - a scheduler width ([jobs]): independent jobs (distinct
+      configurations in {!run_fli}, profile and follower runs in
+      {!run_vli}) run on up to [jobs] domains.  [jobs = 1] (the default)
+      is strictly sequential; any [jobs] produces bit-identical results
+      because jobs share no mutable state and results are assembled in
+      input order;
+    - content-keyed artifact stores memoizing compiled binaries by
+      (program, config) and structure profiles by (program, config,
+      input).  Passing one engine to several pipeline calls (as
+      {!Cbsp_report.Experiment.run_suite} does for a workload's FLI and
+      VLI runs) deduplicates that work: each binary compiles exactly
+      once;
+    - a timing sink recording every job's wall-clock and input/output
+      sizes, for the per-stage timing report.
+
+    Omitting [?engine] creates a fresh sequential engine per call —
+    exactly the seed behaviour. *)
+
+type engine = {
+  eng_jobs : int;  (** Scheduler width; 1 = sequential. *)
+  eng_binaries : Cbsp_compiler.Binary.t Cbsp_engine.Store.t;
+  eng_profiles : Cbsp_profile.Structprof.t Cbsp_engine.Store.t;
+  eng_timing : Cbsp_engine.Timing.sink;
+}
+
+val create_engine : ?jobs:int -> unit -> engine
+(** [jobs] defaults to 1 (sequential); values below 1 are clamped to 1. *)
+
+val timings : engine -> Cbsp_engine.Timing.record list
+(** Every job record accumulated so far, in canonical (stage, label)
+    order. *)
+
+val compile_stats : engine -> int * int
+(** [(computes, hits)] of the binary store: how many compiles ran and how
+    many requests were served memoized. *)
+
 val run_fli :
   ?sp_config:Cbsp_simpoint.Simpoint.config ->
   ?cache_config:Cbsp_cache.Hierarchy.config ->
+  ?engine:engine ->
   Cbsp_source.Ast.program ->
   configs:Cbsp_compiler.Config.t list ->
   input:Cbsp_source.Input.t ->
@@ -95,6 +138,7 @@ val run_vli :
   ?cache_config:Cbsp_cache.Hierarchy.config ->
   ?match_options:Matching.options ->
   ?primary:int ->
+  ?engine:engine ->
   Cbsp_source.Ast.program ->
   configs:Cbsp_compiler.Config.t list ->
   input:Cbsp_source.Input.t ->

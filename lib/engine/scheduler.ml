@@ -1,0 +1,43 @@
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Worker domains mark themselves in domain-local storage; a nested
+   parallel_map sees the mark and runs sequentially, bounding the total
+   number of domains by the outermost call's [jobs]. *)
+let inside_worker = Domain.DLS.new_key (fun () -> false)
+
+let currently_inside_worker () = Domain.DLS.get inside_worker
+
+let parallel_map ~jobs f xs =
+  let n = List.length xs in
+  let jobs = min (max jobs 1) n in
+  if jobs <= 1 || currently_inside_worker () then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      Domain.DLS.set inside_worker true;
+      let rec drain () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            match f input.(i) with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          drain ()
+        end
+      in
+      drain ()
+    in
+    let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    (* Joining every domain orders all the results.(i) writes before the
+       reads below. *)
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end

@@ -1,0 +1,29 @@
+type t =
+  | Compile
+  | Struct_profile
+  | Matching
+  | Interval_collection
+  | Clustering
+  | Summarize
+
+let name = function
+  | Compile -> "compile"
+  | Struct_profile -> "struct-profile"
+  | Matching -> "matching"
+  | Interval_collection -> "interval-collection"
+  | Clustering -> "clustering"
+  | Summarize -> "summarize"
+
+let all =
+  [ Compile; Struct_profile; Matching; Interval_collection; Clustering;
+    Summarize ]
+
+let index = function
+  | Compile -> 0
+  | Struct_profile -> 1
+  | Matching -> 2
+  | Interval_collection -> 3
+  | Clustering -> 4
+  | Summarize -> 5
+
+let compare a b = Int.compare (index a) (index b)

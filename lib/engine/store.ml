@@ -1,0 +1,72 @@
+(* Each key owns a cell; the table mutex only guards cell creation, so a
+   slow computation for one key never blocks lookups of another.  The
+   cell's own mutex/condition implements "first caller computes, the
+   rest wait". *)
+
+type 'v outcome = Value of 'v | Raised of exn
+
+type 'v cell = {
+  c_mutex : Mutex.t;
+  c_cond : Condition.t;
+  mutable c_outcome : 'v outcome option;
+}
+
+type 'v t = {
+  s_name : string;
+  s_mutex : Mutex.t;
+  s_table : (string, 'v cell) Hashtbl.t;
+  s_computes : int Atomic.t;
+  s_hits : int Atomic.t;
+}
+
+let create ?(name = "store") () =
+  { s_name = name; s_mutex = Mutex.create (); s_table = Hashtbl.create 64;
+    s_computes = Atomic.make 0; s_hits = Atomic.make 0 }
+
+let digest v = Digest.string (Marshal.to_string v [])
+
+let find_or_compute t ~key f =
+  let cell, owner =
+    Mutex.protect t.s_mutex (fun () ->
+        match Hashtbl.find_opt t.s_table key with
+        | Some c -> (c, false)
+        | None ->
+          let c =
+            { c_mutex = Mutex.create (); c_cond = Condition.create ();
+              c_outcome = None }
+          in
+          Hashtbl.add t.s_table key c;
+          (c, true))
+  in
+  if owner then begin
+    Atomic.incr t.s_computes;
+    let outcome = match f () with v -> Value v | exception e -> Raised e in
+    Mutex.protect cell.c_mutex (fun () ->
+        cell.c_outcome <- Some outcome;
+        Condition.broadcast cell.c_cond);
+    match outcome with Value v -> v | Raised e -> raise e
+  end
+  else begin
+    Atomic.incr t.s_hits;
+    let outcome =
+      Mutex.protect cell.c_mutex (fun () ->
+          while cell.c_outcome = None do
+            Condition.wait cell.c_cond cell.c_mutex
+          done;
+          Option.get cell.c_outcome)
+    in
+    match outcome with Value v -> v | Raised e -> raise e
+  end
+
+let mem t ~key =
+  Mutex.protect t.s_mutex (fun () ->
+      match Hashtbl.find_opt t.s_table key with
+      | Some { c_outcome = Some (Value _); _ } -> true
+      | Some _ | None -> false)
+
+let computes t = Atomic.get t.s_computes
+
+let hits t = Atomic.get t.s_hits
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%s: %d computed, %d hits" t.s_name (computes t) (hits t)

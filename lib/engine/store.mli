@@ -1,0 +1,39 @@
+(** Content-keyed artifact store: memoizes expensive pipeline artifacts
+    (compiled binaries, structure profiles) under a digest of everything
+    that determines them.
+
+    The store guarantees {e exactly-once} computation per key, even under
+    concurrent lookups from several scheduler domains: the first caller
+    computes, every concurrent caller for the same key blocks until the
+    value (or the computing function's exception) is available.  Because
+    every producer in this codebase is a pure function of its key's
+    contents, a memoized artifact is indistinguishable from a recomputed
+    one — hits cannot change results, only skip work. *)
+
+type 'v t
+
+val create : ?name:string -> unit -> 'v t
+(** [name] labels the store in {!pp_stats} output (default ["store"]). *)
+
+val digest : 'a -> string
+(** A content key: the MD5 digest of the value's [Marshal] encoding.
+    The value must be marshal-able (pure data, no closures) — true of
+    programs, configurations, inputs and binaries here. *)
+
+val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v
+(** Return the cached value for [key], or run the computation and cache
+    it.  Exactly one caller computes per key; if the computation raises,
+    the exception is cached and re-raised to every (current and future)
+    caller for that key. *)
+
+val mem : 'v t -> key:string -> bool
+
+val computes : 'v t -> int
+(** Number of computations actually executed (cache misses). *)
+
+val hits : 'v t -> int
+(** Number of [find_or_compute] calls served from cache (including calls
+    that waited on an in-flight computation). *)
+
+val pp_stats : Format.formatter -> 'v t -> unit
+(** e.g. ["binaries: 4 computed, 4 hits"]. *)

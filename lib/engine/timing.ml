@@ -1,0 +1,80 @@
+type record = {
+  tr_stage : Stage.t;
+  tr_label : string;
+  tr_seconds : float;
+  tr_in_size : int;
+  tr_out_size : int;
+}
+
+type sink = { mutex : Mutex.t; mutable records : record list }
+
+let create () = { mutex = Mutex.create (); records = [] }
+
+let record t r =
+  Mutex.protect t.mutex (fun () -> t.records <- r :: t.records)
+
+let time t ~stage ~label ?(in_size = 0) ?out_size f =
+  let t0 = Unix.gettimeofday () in
+  let finish out_size =
+    record t
+      { tr_stage = stage; tr_label = label;
+        tr_seconds = Unix.gettimeofday () -. t0; tr_in_size = in_size;
+        tr_out_size = out_size }
+  in
+  match f () with
+  | v ->
+    finish (match out_size with None -> 0 | Some m -> m v);
+    v
+  | exception e ->
+    finish 0;
+    raise e
+
+let records t =
+  Mutex.protect t.mutex (fun () -> t.records)
+  |> List.stable_sort (fun a b ->
+         match Stage.compare a.tr_stage b.tr_stage with
+         | 0 -> String.compare a.tr_label b.tr_label
+         | c -> c)
+
+type stage_summary = {
+  ss_stage : Stage.t;
+  ss_jobs : int;
+  ss_seconds : float;
+  ss_max_seconds : float;
+  ss_in_size : int;
+  ss_out_size : int;
+}
+
+let summarize rs =
+  List.filter_map
+    (fun stage ->
+      match List.filter (fun r -> r.tr_stage = stage) rs with
+      | [] -> None
+      | stage_rs ->
+        Some
+          (List.fold_left
+             (fun acc r ->
+               { acc with
+                 ss_jobs = acc.ss_jobs + 1;
+                 ss_seconds = acc.ss_seconds +. r.tr_seconds;
+                 ss_max_seconds = Float.max acc.ss_max_seconds r.tr_seconds;
+                 ss_in_size = acc.ss_in_size + r.tr_in_size;
+                 ss_out_size = acc.ss_out_size + r.tr_out_size })
+             { ss_stage = stage; ss_jobs = 0; ss_seconds = 0.0;
+               ss_max_seconds = 0.0; ss_in_size = 0; ss_out_size = 0 }
+             stage_rs))
+    Stage.all
+
+let pp_report ppf rs =
+  let summaries = summarize rs in
+  Format.fprintf ppf "  %-20s %6s %12s %12s %12s %12s@." "stage" "jobs"
+    "total" "max" "in" "out";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %-20s %6d %10.3f s %10.3f s %12d %12d@."
+        (Stage.name s.ss_stage) s.ss_jobs s.ss_seconds s.ss_max_seconds
+        s.ss_in_size s.ss_out_size)
+    summaries;
+  let jobs = List.fold_left (fun a s -> a + s.ss_jobs) 0 summaries in
+  let total = List.fold_left (fun a s -> a +. s.ss_seconds) 0.0 summaries in
+  Format.fprintf ppf "  %-20s %6d %10.3f s@." "total" jobs total

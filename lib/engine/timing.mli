@@ -1,0 +1,51 @@
+(** Per-job wall-clock accounting.  Every job the engine runs records a
+    {!record}: which stage, which (workload, binary) label, how long it
+    took, and how big its input and output were (in stage-appropriate
+    units — blocks for compiles, intervals for collection, and so on).
+    A sink is safe to record into from several scheduler domains. *)
+
+type record = {
+  tr_stage : Stage.t;
+  tr_label : string;   (** e.g. ["gcc/32u"], ["gcc/vli"]. *)
+  tr_seconds : float;  (** Wall-clock. *)
+  tr_in_size : int;    (** Input size in stage units; 0 when unmeasured. *)
+  tr_out_size : int;   (** Output size in stage units; 0 when unmeasured. *)
+}
+
+type sink
+
+val create : unit -> sink
+
+val record : sink -> record -> unit
+
+val time :
+  sink ->
+  stage:Stage.t ->
+  label:string ->
+  ?in_size:int ->
+  ?out_size:('a -> int) ->
+  (unit -> 'a) ->
+  'a
+(** Run the thunk, record a {!record} around it, return its result.
+    [out_size] measures the produced value (default 0).  The record is
+    emitted even when the thunk raises (with [tr_out_size = 0]). *)
+
+val records : sink -> record list
+(** Everything recorded so far, sorted by (stage, label) — a canonical
+    order, independent of scheduling. *)
+
+type stage_summary = {
+  ss_stage : Stage.t;
+  ss_jobs : int;         (** Number of jobs recorded for this stage. *)
+  ss_seconds : float;    (** Summed wall-clock over those jobs. *)
+  ss_max_seconds : float;
+  ss_in_size : int;      (** Summed input sizes. *)
+  ss_out_size : int;     (** Summed output sizes. *)
+}
+
+val summarize : record list -> stage_summary list
+(** One summary per stage present, in pipeline order. *)
+
+val pp_report : Format.formatter -> record list -> unit
+(** The CLI's per-stage timing report: one row per stage (jobs, total
+    and max wall-clock, total sizes) followed by a total row. *)

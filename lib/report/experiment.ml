@@ -3,48 +3,72 @@ module Metrics = Cbsp.Metrics
 module Registry = Cbsp_workloads.Registry
 module Config = Cbsp_compiler.Config
 module Stats = Cbsp_util.Stats
+module Scheduler = Cbsp_engine.Scheduler
+module Timing = Cbsp_engine.Timing
 
 type workload_result = {
   wr_name : string;
   wr_fli : Pipeline.fli_result;
   wr_vli : Pipeline.vli_result;
   wr_seconds : float;
+  wr_timings : Timing.record list;
+  wr_compiles : int;
+  wr_compile_requests : int;
 }
 
 type t = {
   results : workload_result list;
   target : int;
   input : Cbsp_source.Input.t;
+  jobs : int;
 }
 
 let run_suite ?names ?(target = Pipeline.default_target)
-    ?(input = Cbsp_source.Input.ref_input) ?sp_config ?primary
+    ?(input = Cbsp_source.Input.ref_input) ?sp_config ?primary ?(jobs = 1)
     ?(progress = fun _ -> ()) () =
   let entries =
     match names with
     | None -> Registry.all
     | Some names -> List.map Registry.find names
   in
+  (* One engine per workload: its binary store is what lets the FLI and
+     VLI runs share the four compiled binaries (each (program, config)
+     compiles exactly once per suite entry), and its timing sink becomes
+     wr_timings.  Workloads are independent, so the suite itself is a
+     scheduler job list; inside a worker the pipelines degrade to
+     sequential, so the domain count stays bounded by [jobs] either
+     way. *)
   let results =
-    List.map
+    Scheduler.parallel_map ~jobs
       (fun (entry : Registry.entry) ->
         progress entry.Registry.name;
         let t0 = Unix.gettimeofday () in
+        let engine = Pipeline.create_engine ~jobs () in
         let program = entry.Registry.build () in
         let configs =
           Config.paper_four ~loop_splitting:entry.Registry.loop_splitting ()
         in
-        let fli = Pipeline.run_fli ?sp_config program ~configs ~input ~target in
-        let vli =
-          Pipeline.run_vli ?sp_config ?primary program ~configs ~input ~target
+        let fli =
+          Pipeline.run_fli ?sp_config ~engine program ~configs ~input ~target
         in
+        let vli =
+          Pipeline.run_vli ?sp_config ?primary ~engine program ~configs ~input
+            ~target
+        in
+        let compiles, compile_hits = Pipeline.compile_stats engine in
         { wr_name = entry.Registry.name; wr_fli = fli; wr_vli = vli;
-          wr_seconds = Unix.gettimeofday () -. t0 })
+          wr_seconds = Unix.gettimeofday () -. t0;
+          wr_timings = Pipeline.timings engine; wr_compiles = compiles;
+          wr_compile_requests = compiles + compile_hits })
       entries
   in
-  { results; target; input }
+  { results; target; input; jobs }
 
 let find t name = List.find (fun r -> r.wr_name = name) t.results
+
+let timings t = List.concat_map (fun r -> r.wr_timings) t.results
+
+let timing_report t ppf = Timing.pp_report ppf (timings t)
 
 let mean_of f binaries =
   Stats.mean (Array.of_list (List.map f binaries))

@@ -1,18 +1,36 @@
 (** The paper's evaluation harness: run both pipelines over the benchmark
     suite once and expose the per-workload results that every figure and
-    table is derived from (Section 4's methodology). *)
+    table is derived from (Section 4's methodology).
+
+    The suite is scheduled on the job-graph engine: with [jobs > 1],
+    independent workloads run on parallel domains, and each workload's
+    FLI and VLI runs share one {!Cbsp.Pipeline.engine} so its four
+    binaries compile exactly once (the artifact store serves the second
+    pipeline's requests memoized).  Results are bit-identical for every
+    [jobs] value. *)
 
 type workload_result = {
   wr_name : string;
   wr_fli : Cbsp.Pipeline.fli_result;
   wr_vli : Cbsp.Pipeline.vli_result;
   wr_seconds : float;  (** Wall-clock time spent on this workload. *)
+  wr_timings : Cbsp_engine.Timing.record list;
+      (** Every pipeline job this workload ran (compile, struct-profile,
+          matching, interval-collection, clustering, summarize), with
+          wall-clock and sizes, in canonical (stage, label) order. *)
+  wr_compiles : int;
+      (** Compiles actually executed — 4 (one per configuration): the
+          artifact store deduplicates the FLI and VLI pipelines'
+          requests. *)
+  wr_compile_requests : int;
+      (** Compile requests across both pipelines (8 = 2 × 4 configs). *)
 }
 
 type t = {
   results : workload_result list;  (** In suite order. *)
   target : int;
   input : Cbsp_source.Input.t;
+  jobs : int;  (** Scheduler width the suite ran with. *)
 }
 
 val run_suite :
@@ -21,16 +39,28 @@ val run_suite :
   ?input:Cbsp_source.Input.t ->
   ?sp_config:Cbsp_simpoint.Simpoint.config ->
   ?primary:int ->
+  ?jobs:int ->
   ?progress:(string -> unit) ->
   unit ->
   t
 (** Runs per-binary FLI SimPoint and mappable VLI SimPoint on each named
     workload (default: the whole suite) over the paper's four binaries.
-    [progress] is called with each workload's name before it runs.
+    [jobs] (default 1 — strictly sequential, the determinism-sensitive
+    callers' path) bounds the number of worker domains; results are
+    bit-identical for any value.  [progress] is called with each
+    workload's name before it runs (from a worker domain when
+    [jobs > 1]).
     @raise Not_found for unknown workload names. *)
 
 val find : t -> string -> workload_result
 (** @raise Not_found. *)
+
+val timings : t -> Cbsp_engine.Timing.record list
+(** All workloads' job records concatenated, in suite order. *)
+
+val timing_report : t -> Format.formatter -> unit
+(** Render the per-stage timing report (jobs, total/max wall-clock,
+    summed input/output sizes per stage) over the whole suite. *)
 
 (** Per-workload derived quantities, averaged over the four binaries
     where the paper does (Figures 1-3). *)

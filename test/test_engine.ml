@@ -1,0 +1,322 @@
+(* The job-graph engine: scheduler, artifact store, timing — and the
+   property the whole design hangs on: a parallel run is bit-identical
+   to the sequential one. *)
+
+module Pipeline = Cbsp.Pipeline
+module Experiment = Cbsp_report.Experiment
+module Scheduler = Cbsp_engine.Scheduler
+module Store = Cbsp_engine.Store
+module Timing = Cbsp_engine.Timing
+module Stage = Cbsp_engine.Stage
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+
+let test_parallel_map_order () =
+  let xs = List.init 23 Fun.id in
+  List.iter
+    (fun jobs ->
+      Tutil.check_bool
+        (Printf.sprintf "order preserved, jobs=%d" jobs)
+        true
+        (Scheduler.parallel_map ~jobs (fun x -> x * x) xs
+        = List.map (fun x -> x * x) xs))
+    [ 1; 2; 4; 16 ];
+  Tutil.check_bool "empty list" true
+    (Scheduler.parallel_map ~jobs:4 Fun.id [] = ([] : int list))
+
+let test_parallel_map_nested () =
+  (* A nested parallel_map inside a worker degrades to List.map — same
+     results, no deadlock, bounded domains. *)
+  let outer =
+    Scheduler.parallel_map ~jobs:3
+      (fun i ->
+        Tutil.check_bool "inner call sees worker flag" true
+          (Scheduler.currently_inside_worker ());
+        Scheduler.parallel_map ~jobs:3 (fun j -> (10 * i) + j) [ 0; 1; 2 ])
+      [ 0; 1; 2 ]
+  in
+  Tutil.check_bool "nested results" true
+    (outer = [ [ 0; 1; 2 ]; [ 10; 11; 12 ]; [ 20; 21; 22 ] ]);
+  Tutil.check_bool "flag cleared outside workers" false
+    (Scheduler.currently_inside_worker ())
+
+let test_parallel_map_exception () =
+  Alcotest.check_raises "first failing index wins" (Failure "boom-1")
+    (fun () ->
+      ignore
+        (Scheduler.parallel_map ~jobs:4
+           (fun i ->
+             if i mod 2 = 1 then failwith (Printf.sprintf "boom-%d" i) else i)
+           [ 0; 1; 2; 3; 4 ]))
+
+let test_recommended_jobs () =
+  Tutil.check_bool "at least one" true (Scheduler.recommended_jobs () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Artifact store                                                      *)
+
+let test_store_memoizes () =
+  let store = Store.create ~name:"t" () in
+  let calls = ref 0 in
+  let v1 =
+    Store.find_or_compute store ~key:"k" (fun () -> incr calls; 41)
+  in
+  let v2 =
+    Store.find_or_compute store ~key:"k" (fun () -> incr calls; 42)
+  in
+  Tutil.check_int "first compute" 41 v1;
+  Tutil.check_int "memoized value" 41 v2;
+  Tutil.check_int "computed once" 1 !calls;
+  Tutil.check_int "computes counter" 1 (Store.computes store);
+  Tutil.check_int "hits counter" 1 (Store.hits store);
+  Tutil.check_bool "mem" true (Store.mem store ~key:"k");
+  Tutil.check_bool "not mem" false (Store.mem store ~key:"other")
+
+let test_store_exactly_once_parallel () =
+  (* Many domains race on the same key: exactly one computes, everyone
+     observes the same value. *)
+  let store = Store.create () in
+  let calls = Atomic.make 0 in
+  let values =
+    Scheduler.parallel_map ~jobs:8
+      (fun _ ->
+        Store.find_or_compute store ~key:"shared" (fun () ->
+            Atomic.incr calls;
+            Unix.sleepf 0.005;
+            Atomic.get calls))
+      (List.init 16 Fun.id)
+  in
+  Tutil.check_int "one compute under contention" 1 (Atomic.get calls);
+  Tutil.check_int "one compute counted" 1 (Store.computes store);
+  Tutil.check_int "everyone else hit" 15 (Store.hits store);
+  Tutil.check_bool "all callers same value" true
+    (List.for_all (fun v -> v = 1) values)
+
+let test_store_caches_exceptions () =
+  let store = Store.create () in
+  let calls = ref 0 in
+  let attempt () =
+    match
+      Store.find_or_compute store ~key:"bad" (fun () ->
+          incr calls;
+          failwith "compute failed")
+    with
+    | (_ : int) -> false
+    | exception Failure m -> m = "compute failed"
+  in
+  Tutil.check_bool "first caller sees the exception" true (attempt ());
+  Tutil.check_bool "second caller sees the cached exception" true (attempt ());
+  Tutil.check_int "failing computation ran once" 1 !calls;
+  Tutil.check_bool "failed key is not mem" false (Store.mem store ~key:"bad")
+
+let test_store_digest_content_keyed () =
+  Tutil.check_bool "equal content, equal key" true
+    (Store.digest (1, "a", [ 2; 3 ]) = Store.digest (1, "a", [ 2; 3 ]));
+  Tutil.check_bool "different content, different key" true
+    (Store.digest (1, "a") <> Store.digest (1, "b"))
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+
+let test_timing_records () =
+  let sink = Timing.create () in
+  let v =
+    Timing.time sink ~stage:Stage.Compile ~label:"b/32u" ~in_size:3
+      ~out_size:(fun x -> x * 2)
+      (fun () -> 21)
+  in
+  Tutil.check_int "thunk result" 21 v;
+  (match Timing.records sink with
+   | [ r ] ->
+     Tutil.check_bool "stage" true (r.Timing.tr_stage = Stage.Compile);
+     Alcotest.(check string) "label" "b/32u" r.Timing.tr_label;
+     Tutil.check_int "in size" 3 r.Timing.tr_in_size;
+     Tutil.check_int "out size" 42 r.Timing.tr_out_size;
+     Tutil.check_bool "non-negative time" true (r.Timing.tr_seconds >= 0.0)
+   | rs -> Alcotest.failf "expected one record, got %d" (List.length rs));
+  (* A raising thunk still records (with out 0) and re-raises. *)
+  Tutil.check_bool "raises through" true
+    (match
+       Timing.time sink ~stage:Stage.Clustering ~label:"x" (fun () ->
+           failwith "oops")
+     with
+     | (_ : int) -> false
+     | exception Failure _ -> true);
+  Tutil.check_int "two records now" 2 (List.length (Timing.records sink))
+
+let test_timing_summary () =
+  let sink = Timing.create () in
+  let spin stage label =
+    Timing.time sink ~stage ~label ~in_size:1 ~out_size:(fun _ -> 1)
+      (fun () -> ())
+  in
+  spin Stage.Compile "a";
+  spin Stage.Compile "b";
+  spin Stage.Summarize "a";
+  let summaries = Timing.summarize (Timing.records sink) in
+  Tutil.check_int "two stages present" 2 (List.length summaries);
+  (match summaries with
+   | [ c; s ] ->
+     Tutil.check_bool "pipeline order" true
+       (c.Timing.ss_stage = Stage.Compile && s.Timing.ss_stage = Stage.Summarize);
+     Tutil.check_int "compile jobs" 2 c.Timing.ss_jobs;
+     Tutil.check_int "compile in total" 2 c.Timing.ss_in_size
+   | _ -> Alcotest.fail "unexpected summary shape");
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+    at 0
+  in
+  let report = Format.asprintf "%a" Timing.pp_report (Timing.records sink) in
+  List.iter
+    (fun needle ->
+      Tutil.check_bool ("report mentions " ^ needle) true
+        (contains report needle))
+    [ "compile"; "summarize"; "total" ]
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline engine integration                                         *)
+
+let input = Tutil.test_input
+let target = 20_000
+let configs = Tutil.paper_configs ()
+
+let test_shared_engine_compiles_once () =
+  (* The satellite fix: FLI and VLI on one engine share the four compiled
+     binaries instead of compiling them twice. *)
+  let program = Tutil.two_phase_program () in
+  let engine = Pipeline.create_engine () in
+  let (_ : Pipeline.fli_result) =
+    Pipeline.run_fli ~engine program ~configs ~input ~target
+  in
+  let (_ : Pipeline.vli_result) =
+    Pipeline.run_vli ~engine program ~configs ~input ~target
+  in
+  let computes, hits = Pipeline.compile_stats engine in
+  Tutil.check_int "each (program, config) compiled exactly once" 4 computes;
+  Tutil.check_int "second pipeline fully memoized" 4 hits
+
+let test_engine_timing_covers_stages () =
+  let program = Tutil.two_phase_program () in
+  let engine = Pipeline.create_engine () in
+  let (_ : Pipeline.fli_result) =
+    Pipeline.run_fli ~engine program ~configs ~input ~target
+  in
+  let (_ : Pipeline.vli_result) =
+    Pipeline.run_vli ~engine program ~configs ~input ~target
+  in
+  let count stage =
+    List.length
+      (List.filter
+         (fun r -> r.Timing.tr_stage = stage)
+         (Pipeline.timings engine))
+  in
+  Tutil.check_int "4 compile jobs" 4 (count Stage.Compile);
+  Tutil.check_int "4 struct-profile jobs" 4 (count Stage.Struct_profile);
+  Tutil.check_int "1 matching job" 1 (count Stage.Matching);
+  (* 4 FLI collections + 1 VLI primary + 3 followers *)
+  Tutil.check_int "8 interval-collection jobs" 8 (count Stage.Interval_collection);
+  (* 4 per-binary FLI clusterings + 1 shared VLI clustering *)
+  Tutil.check_int "5 clustering jobs" 5 (count Stage.Clustering);
+  Tutil.check_int "8 summarize jobs" 8 (count Stage.Summarize)
+
+let test_pipeline_parallel_deterministic () =
+  let program = Tutil.two_phase_program () in
+  let seq = Pipeline.run_fli program ~configs ~input ~target in
+  let par =
+    Pipeline.run_fli ~engine:(Pipeline.create_engine ~jobs:4 ()) program
+      ~configs ~input ~target
+  in
+  Tutil.check_bool "fli bit-identical under jobs=4" true (seq = par);
+  let vseq = Pipeline.run_vli program ~configs ~input ~target in
+  let vpar =
+    Pipeline.run_vli ~engine:(Pipeline.create_engine ~jobs:4 ()) program
+      ~configs ~input ~target
+  in
+  Tutil.check_bool "vli binaries bit-identical under jobs=4" true
+    (vseq.Pipeline.vli_binaries = vpar.Pipeline.vli_binaries);
+  Tutil.check_bool "vli points bit-identical under jobs=4" true
+    (vseq.Pipeline.vli_points = vpar.Pipeline.vli_points)
+
+(* ------------------------------------------------------------------ *)
+(* Suite-level determinism: the acceptance criterion.                  *)
+
+let suite_names = [ "gcc"; "apsi"; "applu" ]
+
+let run_reduced_suite ~jobs =
+  Experiment.run_suite ~names:suite_names ~target:50_000
+    ~input:(Cbsp_source.Input.make ~name:"small" ~seed:42 ~scale:2 ())
+    ~jobs ()
+
+let same_workload_results (a : Experiment.workload_result)
+    (b : Experiment.workload_result) =
+  a.Experiment.wr_name = b.Experiment.wr_name
+  && a.Experiment.wr_fli = b.Experiment.wr_fli
+  && a.Experiment.wr_vli.Pipeline.vli_binaries
+     = b.Experiment.wr_vli.Pipeline.vli_binaries
+  && a.Experiment.wr_vli.Pipeline.vli_points
+     = b.Experiment.wr_vli.Pipeline.vli_points
+  && a.Experiment.wr_vli.Pipeline.vli_n_boundaries
+     = b.Experiment.wr_vli.Pipeline.vli_n_boundaries
+  && a.Experiment.wr_vli.Pipeline.vli_primary
+     = b.Experiment.wr_vli.Pipeline.vli_primary
+
+let test_suite_parallel_bit_identical () =
+  (* CPI estimates, phase assignments and boundaries from a 1-worker and
+     an N-worker run of the reduced 3-workload suite must be
+     bit-identical (floats compared exactly, via structural equality). *)
+  let seq = run_reduced_suite ~jobs:1 in
+  let par = run_reduced_suite ~jobs:4 in
+  Tutil.check_int "same workload count" (List.length seq.Experiment.results)
+    (List.length par.Experiment.results);
+  List.iter2
+    (fun a b ->
+      Tutil.check_bool
+        (a.Experiment.wr_name ^ " identical under jobs=4")
+        true
+        (same_workload_results a b))
+    seq.Experiment.results par.Experiment.results
+
+let test_suite_compiles_once_per_entry () =
+  let t = run_reduced_suite ~jobs:2 in
+  List.iter
+    (fun (r : Experiment.workload_result) ->
+      Tutil.check_int (r.Experiment.wr_name ^ ": 4 compiles") 4
+        r.Experiment.wr_compiles;
+      Tutil.check_int
+        (r.Experiment.wr_name ^ ": 8 compile requests")
+        8 r.Experiment.wr_compile_requests;
+      Tutil.check_bool
+        (r.Experiment.wr_name ^ ": timings recorded")
+        true
+        (List.length r.Experiment.wr_timings > 0))
+    t.Experiment.results;
+  let report = Format.asprintf "%t" (Experiment.timing_report t) in
+  Tutil.check_bool "suite timing report renders" true
+    (String.length report > 0)
+
+let () =
+  Alcotest.run "engine"
+    [ ( "scheduler",
+        [ Tutil.quick "order preserved" test_parallel_map_order;
+          Tutil.quick "nested degrades" test_parallel_map_nested;
+          Tutil.quick "exception propagation" test_parallel_map_exception;
+          Tutil.quick "recommended jobs" test_recommended_jobs ] );
+      ( "store",
+        [ Tutil.quick "memoizes" test_store_memoizes;
+          Tutil.quick "exactly once in parallel" test_store_exactly_once_parallel;
+          Tutil.quick "caches exceptions" test_store_caches_exceptions;
+          Tutil.quick "content keyed" test_store_digest_content_keyed ] );
+      ( "timing",
+        [ Tutil.quick "records jobs" test_timing_records;
+          Tutil.quick "summaries + report" test_timing_summary ] );
+      ( "pipeline",
+        [ Tutil.quick "shared engine compiles once" test_shared_engine_compiles_once;
+          Tutil.quick "timing covers stages" test_engine_timing_covers_stages;
+          Tutil.quick "parallel deterministic" test_pipeline_parallel_deterministic ] );
+      ( "suite",
+        [ Alcotest.test_case "parallel suite bit-identical" `Slow
+            test_suite_parallel_bit_identical;
+          Alcotest.test_case "compiles once per entry" `Slow
+            test_suite_compiles_once_per_entry ] ) ]

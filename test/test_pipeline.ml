@@ -2,6 +2,8 @@ module Pipeline = Cbsp.Pipeline
 module Metrics = Cbsp.Metrics
 module Config = Cbsp_compiler.Config
 module Stats = Cbsp_util.Stats
+module Lower = Cbsp_compiler.Lower
+module Input = Cbsp_source.Input
 
 let input = Tutil.test_input
 let target = 20_000
@@ -174,6 +176,65 @@ let test_find_binary () =
      | (_ : Pipeline.binary_result) -> false
      | exception Not_found -> true)
 
+let test_replay_wrong_program () =
+  (* Points chosen for one program cannot replay on a binary of another:
+     either the run ends before every boundary is met (the follower's
+     failure) or the interval counts disagree (replay's own check). *)
+  let vli =
+    Pipeline.run_vli (Tutil.two_phase_program ()) ~configs ~input ~target
+  in
+  let other =
+    Lower.compile (Tutil.single_loop_program ()) (List.hd configs)
+  in
+  Tutil.check_bool "mismatched program fails" true
+    (match Pipeline.replay other ~input vli.Pipeline.vli_points with
+     | (_ : Pipeline.binary_result) -> false
+     | exception Failure _ -> true)
+
+let test_replay_wrong_input () =
+  (* Same program, different input: boundary counts no longer line up. *)
+  let vli =
+    Pipeline.run_vli (Tutil.two_phase_program ()) ~configs ~input ~target
+  in
+  let binary = Lower.compile (Tutil.two_phase_program ()) (List.hd configs) in
+  let other_input = Input.make ~name:"other" ~seed:99 ~scale:3 () in
+  Tutil.check_bool "mismatched input fails" true
+    (match Pipeline.replay binary ~input:other_input vli.Pipeline.vli_points with
+     | (_ : Pipeline.binary_result) -> false
+     | exception Failure _ -> true)
+
+let test_replay_tampered_points () =
+  (* A points file whose phase table disagrees with its boundaries (e.g.
+     hand-edited) is rejected by replay's interval-count check. *)
+  let vli =
+    Pipeline.run_vli (Tutil.two_phase_program ()) ~configs ~input ~target
+  in
+  let pts = vli.Pipeline.vli_points in
+  let tampered =
+    { pts with
+      Pipeline.pt_phase_of =
+        Array.sub pts.Pipeline.pt_phase_of 0
+          (Array.length pts.Pipeline.pt_phase_of - 1) }
+  in
+  let binary = Lower.compile (Tutil.two_phase_program ()) (List.hd configs) in
+  Alcotest.check_raises "tampered points rejected"
+    (Failure "Pipeline.replay: points do not match this (program, input)")
+    (fun () -> ignore (Pipeline.replay binary ~input tampered))
+
+let test_find_binary_unknown_label () =
+  let fli = Pipeline.run_fli (Tutil.two_phase_program ()) ~configs ~input ~target in
+  List.iter
+    (fun label ->
+      Tutil.check_bool (Printf.sprintf "label %S raises Not_found" label) true
+        (match Pipeline.find_binary fli.Pipeline.fli_binaries ~label with
+         | (_ : Pipeline.binary_result) -> false
+         | exception Not_found -> true))
+    [ "64O"; "32"; ""; "x86" ];
+  Tutil.check_bool "empty result list raises Not_found" true
+    (match Pipeline.find_binary [] ~label:"32u" with
+     | (_ : Pipeline.binary_result) -> false
+     | exception Not_found -> true)
+
 let test_deterministic_pipelines () =
   let program = Tutil.two_phase_program () in
   let fli1 = Pipeline.run_fli program ~configs ~input ~target in
@@ -200,4 +261,8 @@ let () =
           Tutil.quick "split inflates intervals" test_split_program_large_intervals ] );
       ( "validation",
         [ Tutil.quick "invalid primary" test_invalid_primary;
-          Tutil.quick "empty configs" test_empty_configs ] ) ]
+          Tutil.quick "empty configs" test_empty_configs;
+          Tutil.quick "replay wrong program" test_replay_wrong_program;
+          Tutil.quick "replay wrong input" test_replay_wrong_input;
+          Tutil.quick "replay tampered points" test_replay_tampered_points;
+          Tutil.quick "find_binary unknown labels" test_find_binary_unknown_label ] ) ]
