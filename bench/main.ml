@@ -71,6 +71,109 @@ let projection_fixture =
   (p, Array.init 400 (fun _ -> Rng.float rng))
 
 (* ------------------------------------------------------------------ *)
+(* Hot-kernel benchmarks: optimized vs reference implementations, and  *)
+(* the machine-readable perf trajectory (BENCH_kernels.json).          *)
+
+let kmeans_big_points =
+  let rng = Rng.create ~seed:12 in
+  Array.init 600 (fun _ -> Array.init 15 (fun _ -> Rng.float rng))
+
+let kmeans_big_weights =
+  let rng = Rng.create ~seed:13 in
+  Array.init 600 (fun _ -> 1.0 +. Rng.float rng)
+
+let projection_rows =
+  (* two-thirds sparse, like normalized BBVs *)
+  let rng = Rng.create ~seed:6 in
+  Array.init 300 (fun _ ->
+      Array.init 400 (fun j -> if j mod 3 = 0 then Rng.float rng else 0.0))
+
+(* Seed-kernel timings recorded on the dev container immediately BEFORE
+   the kernel-optimization pass (bechamel OLS ns/run, quota 0.25 s).
+   These are the fixed denominators of the perf trajectory:
+   BENCH_kernels.json reports speedup_vs_seed against them, so any later
+   regression shows up as a shrinking ratio.  Refresh them only when the
+   fixtures change, and say so in the PR. *)
+let seed_baseline_ns =
+  [ ("exec/run_tiny", 114_905.0);
+    ("exec/fli_pass_tiny", 153_686.0);
+    ("kmeans/k8_150pts", 306_061.0);
+    ("projection/apply_400to15", 7_550.0) ]
+
+type kernel_spec = {
+  ks_name : string;
+  ks_baseline : float option;   (* recorded seed ns/op for this kernel *)
+  ks_reference : string option; (* ks_name of the reference implementation *)
+  ks_test : Test.t;
+}
+
+let kernel ?baseline ?reference name f =
+  { ks_name = name; ks_baseline = baseline; ks_reference = reference;
+    ks_test = Test.make ~name (Staged.stage f) }
+
+let fli_pass run_fn () =
+  let obs, read =
+    Interval.fli_observer ~n_blocks:tiny_binary.Binary.n_blocks ~target:10_000 ()
+  in
+  let (_ : Executor.totals) = run_fn tiny_binary bench_input obs in
+  read ()
+
+let kernel_specs =
+  let jobs = min 4 (Cbsp_engine.Scheduler.recommended_jobs ()) in
+  [ (* executor: flat interpreter vs tree-walking reference *)
+    kernel "exec/run_tiny"
+      ~baseline:(List.assoc "exec/run_tiny" seed_baseline_ns)
+      ~reference:"exec/run_tiny_tree"
+      (fun () -> Executor.run tiny_binary bench_input Executor.null_observer);
+    kernel "exec/run_tiny_tree"
+      (fun () -> Executor.run_tree tiny_binary bench_input Executor.null_observer);
+    kernel "exec/fli_pass_tiny"
+      ~baseline:(List.assoc "exec/fli_pass_tiny" seed_baseline_ns)
+      ~reference:"exec/fli_pass_tiny_tree"
+      (fli_pass Executor.run);
+    kernel "exec/fli_pass_tiny_tree" (fli_pass Executor.run_tree);
+    (* k-means: Hamerly-pruned vs plain Lloyd *)
+    kernel "kmeans/k8_150pts"
+      ~baseline:(List.assoc "kmeans/k8_150pts" seed_baseline_ns)
+      ~reference:"kmeans/k8_150pts_reference"
+      (fun () ->
+        Kmeans.run ~k:8 ~weights:kmeans_weights ~points:kmeans_points
+          ~restarts:1 ());
+    kernel "kmeans/k8_150pts_reference"
+      (fun () ->
+        Kmeans.run_reference ~k:8 ~weights:kmeans_weights ~points:kmeans_points
+          ~restarts:1 ());
+    kernel "kmeans/k8_600pts" ~reference:"kmeans/k8_600pts_reference"
+      (fun () ->
+        Kmeans.run ~k:8 ~weights:kmeans_big_weights ~points:kmeans_big_points
+          ~restarts:1 ());
+    kernel "kmeans/k8_600pts_reference"
+      (fun () ->
+        Kmeans.run_reference ~k:8 ~weights:kmeans_big_weights
+          ~points:kmeans_big_points ~restarts:1 ());
+    kernel
+      (Printf.sprintf "kmeans/k8_600pts_j%d" jobs)
+      ~reference:"kmeans/k8_600pts_reference"
+      (fun () ->
+        Kmeans.run ~k:8 ~weights:kmeans_big_weights ~points:kmeans_big_points
+          ~restarts:1 ~jobs ());
+    (* projection: buffer-reusing apply_all vs per-row map *)
+    kernel "projection/apply_400to15"
+      ~baseline:(List.assoc "projection/apply_400to15" seed_baseline_ns)
+      (fun () ->
+        let p, v = projection_fixture in
+        Projection.apply p v);
+    kernel "projection/apply_all_300rows"
+      ~reference:"projection/apply_all_300rows_map"
+      (fun () ->
+        let p, _ = projection_fixture in
+        Projection.apply_all p projection_rows);
+    kernel "projection/apply_all_300rows_map"
+      (fun () ->
+        let p, _ = projection_fixture in
+        Array.map (Projection.apply p) projection_rows) ]
+
+(* ------------------------------------------------------------------ *)
 (* Micro benchmarks                                                    *)
 
 let micro_tests =
@@ -188,9 +291,10 @@ let engine_comparison () =
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 
-let run_benchmarks tests ~quota_s =
+(* Measure [tests]; return (name, ns/run, r2) rows sorted by name. *)
+let measure tests ~quota_s ~limit =
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~kde:None
+    Benchmark.cfg ~limit ~quota:(Time.second quota_s) ~kde:None
       ~stabilize:false ()
   in
   let instances = [ Instance.monotonic_clock ] in
@@ -220,7 +324,9 @@ let run_benchmarks tests ~quota_s =
       in
       rows := (name, ns, r2) :: !rows)
     results;
-  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows
+
+let print_rows rows =
   Fmt.pr "  %-32s %14s %8s@." "benchmark" "time/run" "r2";
   let pretty ns =
     if ns > 1e9 then Fmt.str "%8.3f s " (ns /. 1e9)
@@ -232,9 +338,85 @@ let run_benchmarks tests ~quota_s =
     (fun (name, ns, r2) -> Fmt.pr "  %-32s %14s %8.3f@." name (pretty ns) r2)
     rows
 
-let () =
+let run_benchmarks tests ~quota_s =
+  print_rows (measure tests ~quota_s ~limit:2000)
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_kernels.json: the machine-readable perf trajectory.           *)
+
+(* Hand-rolled JSON (the tree is tiny and the repo carries no JSON
+   dependency).  Non-finite floats become null so the file always
+   parses. *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let json_opt_float = function None -> "null" | Some f -> json_float f
+
+let write_kernels_json ~path ~mode rows =
+  let ns_of name =
+    match List.find_opt (fun (n, _, _) -> n = name) rows with
+    | Some (_, ns, _) when Float.is_finite ns && ns > 0.0 -> Some ns
+    | _ -> None
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"cbsp-bench-kernels/1\",\n";
+  Printf.fprintf oc "  \"mode\": %S,\n  \"kernels\": [" mode;
+  List.iteri
+    (fun i spec ->
+      let ns, r2 =
+        match List.find_opt (fun (n, _, _) -> n = spec.ks_name) rows with
+        | Some (_, ns, r2) -> (ns, r2)
+        | None -> (nan, nan)
+      in
+      let speedup_vs_seed =
+        match spec.ks_baseline with
+        | Some base when Float.is_finite ns && ns > 0.0 -> Some (base /. ns)
+        | _ -> None
+      in
+      let speedup_vs_reference =
+        match spec.ks_reference with
+        | Some ref_name -> (
+          match ns_of ref_name with
+          | Some ref_ns when Float.is_finite ns && ns > 0.0 ->
+            Some (ref_ns /. ns)
+          | _ -> None)
+        | None -> None
+      in
+      Printf.fprintf oc "%s\n    { \"name\": %S,\n"
+        (if i = 0 then "" else ",")
+        spec.ks_name;
+      Printf.fprintf oc "      \"ns_per_op\": %s,\n      \"r2\": %s,\n"
+        (json_float ns) (json_float r2);
+      Printf.fprintf oc "      \"seed_baseline_ns\": %s,\n"
+        (json_opt_float spec.ks_baseline);
+      Printf.fprintf oc "      \"speedup_vs_seed\": %s,\n"
+        (json_opt_float speedup_vs_seed);
+      Printf.fprintf oc "      \"reference\": %s,\n"
+        (match spec.ks_reference with
+        | Some r -> Printf.sprintf "%S" r
+        | None -> "null");
+      Printf.fprintf oc "      \"speedup_vs_reference\": %s }"
+        (json_opt_float speedup_vs_reference))
+    kernel_specs;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
+let kernel_mode ~path ~smoke =
+  let quota_s, limit = if smoke then (0.01, 5) else (0.5, 2000) in
+  Fmt.pr "=== Hot-kernel benchmarks (%s mode) ===@."
+    (if smoke then "smoke" else "full");
+  let rows =
+    measure (List.map (fun s -> s.ks_test) kernel_specs) ~quota_s ~limit
+  in
+  print_rows rows;
+  write_kernels_json ~path ~mode:(if smoke then "smoke" else "full") rows;
+  Fmt.pr "@.wrote %s@." path
+
+let full_mode () =
   Fmt.pr "=== Micro benchmarks (kernels) ===@.";
   run_benchmarks micro_tests ~quota_s:0.25;
+  Fmt.pr "@.=== Hot-kernel pairs (optimized vs reference) ===@.";
+  run_benchmarks (List.map (fun s -> s.ks_test) kernel_specs) ~quota_s:0.25;
   Fmt.pr "@.=== Paper-artifact benchmarks (reduced instances: %s) ===@."
     (String.concat ", " small_names);
   run_benchmarks artifact_tests ~quota_s:0.25;
@@ -253,3 +435,28 @@ let () =
   Fmt.pr "@.Per-stage timing (jobs=%d):@." jobs;
   Experiment.timing_report suite Format.std_formatter;
   Fmt.pr "@.(full suite regenerated in %.1f s)@." (Unix.gettimeofday () -. t0)
+
+let () =
+  let json = ref None and smoke = ref false and bad = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        if arg = "--json" then json := Some "BENCH_kernels.json"
+        else if String.length arg > 7 && String.sub arg 0 7 = "--json=" then
+          json := Some (String.sub arg 7 (String.length arg - 7))
+        else if arg = "--smoke" then smoke := true
+        else bad := arg :: !bad)
+    Sys.argv;
+  if !bad <> [] then begin
+    Fmt.epr "unknown arguments: %s@." (String.concat " " (List.rev !bad));
+    Fmt.epr "usage: bench [--json[=PATH]] [--smoke]@.";
+    exit 2
+  end;
+  match !json with
+  | Some path -> kernel_mode ~path ~smoke:!smoke
+  | None ->
+    if !smoke then begin
+      Fmt.epr "--smoke requires --json@.";
+      exit 2
+    end;
+    full_mode ()

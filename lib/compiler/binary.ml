@@ -31,6 +31,64 @@ type loop_info = {
   li_split_arity : int;
 }
 
+(* --- flattened form ---------------------------------------------------- *)
+
+let pat_seq = 0
+
+let pat_rand = 1
+
+let pat_chase = 2
+
+let pat_hot = 3
+
+type faccess = {
+  fa_array : int;
+  fa_kind : int;
+  fa_param : int;
+  fa_count : int;
+  fa_write_tenths : int;
+}
+
+type fblock = {
+  fb_id : int;
+  fb_insts : int;
+  fb_accesses : faccess array;
+  fb_spills : int;
+}
+
+type fstmt =
+  | FBlock of fblock
+  | FLoop of floop
+  | FCall of { fc_overhead : fblock; fc_proc : int; fc_marker : Marker.key }
+  | FSelect of fselect
+
+and floop = {
+  fo_slot : int;
+  fo_src_line : int;
+  fo_trips : Cbsp_source.Ast.trips;
+  fo_split_arity : int;
+  fo_unroll : int;
+  fo_header : fblock;
+  fo_backedge_insts : int;
+  fo_body : fstmt array;
+  fo_entry_marker : Marker.key;
+  fo_back_marker : Marker.key;
+}
+
+and fselect = {
+  fs_slot : int;
+  fs_line : int;
+  fs_dispatch : fblock;
+  fs_arms : fstmt array array;
+}
+
+type flat = {
+  fp_bodies : fstmt array array;
+  fp_main : int;
+  fp_n_slots : int;
+  fp_main_marker : Marker.key;
+}
+
 type t = {
   program : Cbsp_source.Ast.program;
   config : Config.t;
@@ -41,9 +99,80 @@ type t = {
   symbols : string list;
   loops : loop_info array;
   inlined : string list;
+  flat : flat;
 }
 
 let find_proc_body t name = Hashtbl.find t.proc_bodies name
+
+(* Flattening happens once, at the end of lowering: statement lists become
+   contiguous arrays, access patterns are pre-decoded (kind tag + parameter,
+   with the Hot window already clamped to the array length and the write
+   ratio already quantized to tenths), marker keys are pre-allocated so the
+   interpreter never allocates per event, and the per-source-line dynamic
+   counters (loop entries, select executions) get dense slots so the
+   executor can use a plain [int array] instead of a hashtable.  Slots are
+   shared by line value, exactly like the hashtable they replace. *)
+let flatten ~proc_bodies ~symbols ~main ~layout =
+  let proc_slot = Hashtbl.create 16 in
+  List.iteri (fun i name -> Hashtbl.replace proc_slot name i) symbols;
+  let line_slot = Hashtbl.create 32 in
+  let n_slots = ref 0 in
+  let slot_of line =
+    match Hashtbl.find_opt line_slot line with
+    | Some s -> s
+    | None ->
+      let s = !n_slots in
+      incr n_slots;
+      Hashtbl.add line_slot line s;
+      s
+  in
+  let flat_access (a : Cbsp_source.Ast.access) =
+    let kind, param =
+      match a.Cbsp_source.Ast.acc_pattern with
+      | Cbsp_source.Ast.Seq { stride } -> (pat_seq, stride)
+      | Cbsp_source.Ast.Rand -> (pat_rand, 0)
+      | Cbsp_source.Ast.Chase -> (pat_chase, 0)
+      | Cbsp_source.Ast.Hot { window } ->
+        (pat_hot, min window (Layout.array_length layout ~array_id:a.acc_array))
+    in
+    { fa_array = a.acc_array; fa_kind = kind; fa_param = param;
+      fa_count = a.acc_count;
+      fa_write_tenths = int_of_float ((a.acc_write_ratio *. 10.0) +. 0.5) }
+  in
+  let flat_block b =
+    { fb_id = b.mb_id; fb_insts = b.mb_insts;
+      fb_accesses = Array.of_list (List.map flat_access b.mb_accesses);
+      fb_spills = b.mb_spills }
+  in
+  let rec flat_stmts stmts = Array.of_list (List.map flat_stmt stmts)
+  and flat_stmt = function
+    | MBlock b -> FBlock (flat_block b)
+    | MCall { mc_overhead; mc_target } ->
+      FCall
+        { fc_overhead = flat_block mc_overhead;
+          fc_proc = Hashtbl.find proc_slot mc_target;
+          fc_marker = Marker.Proc_entry mc_target }
+    | MSelect { ms_line; ms_dispatch; ms_arms } ->
+      FSelect
+        { fs_slot = slot_of ms_line; fs_line = ms_line;
+          fs_dispatch = flat_block ms_dispatch;
+          fs_arms = Array.map flat_stmts ms_arms }
+    | MLoop l ->
+      FLoop
+        { fo_slot = slot_of l.ml_src_line; fo_src_line = l.ml_src_line;
+          fo_trips = l.ml_trips; fo_split_arity = l.ml_split_arity;
+          fo_unroll = l.ml_unroll; fo_header = flat_block l.ml_header;
+          fo_backedge_insts = l.ml_backedge_insts;
+          fo_body = flat_stmts l.ml_body;
+          fo_entry_marker = Marker.Loop_entry l.ml_line;
+          fo_back_marker = Marker.Loop_back l.ml_line }
+  in
+  let bodies =
+    Array.of_list
+      (List.map (fun name -> flat_stmts (Hashtbl.find proc_bodies name)) symbols)
+  in
+  { fp_bodies = bodies; fp_main = Hashtbl.find proc_slot main;
+    fp_n_slots = !n_slots; fp_main_marker = Marker.Proc_entry main }
 
 let rec iter_mstmt f = function
   | MBlock b -> f b

@@ -47,6 +47,77 @@ type loop_info = {
   li_split_arity : int;
 }
 
+(** {2 Flattened form}
+
+    The executor's hot representation, built once at lowering time:
+    statement lists become contiguous arrays, per-access pattern matches
+    are pre-decoded into an integer kind tag plus parameter, marker keys
+    are pre-allocated, and the per-source-line dynamic counters (loop
+    entries and select executions) are renumbered into dense slots so the
+    interpreter indexes a plain [int array] instead of a hashtable.  The
+    flat form is semantically identical to the [mstmt] tree — the test
+    suite proves the two interpreters emit bit-identical event streams. *)
+
+val pat_seq : int
+
+val pat_rand : int
+
+val pat_chase : int
+
+val pat_hot : int
+
+type faccess = {
+  fa_array : int;
+  fa_kind : int;   (** One of {!pat_seq}/{!pat_rand}/{!pat_chase}/{!pat_hot}. *)
+  fa_param : int;  (** Seq stride, or Hot window pre-clamped to the array
+                       length; 0 otherwise. *)
+  fa_count : int;
+  fa_write_tenths : int;  (** Write ratio quantized to tenths: access [i]
+                              of an execution is a write iff
+                              [i mod 10 < fa_write_tenths]. *)
+}
+
+type fblock = {
+  fb_id : int;
+  fb_insts : int;
+  fb_accesses : faccess array;
+  fb_spills : int;
+}
+
+type fstmt =
+  | FBlock of fblock
+  | FLoop of floop
+  | FCall of { fc_overhead : fblock; fc_proc : int; fc_marker : Marker.key }
+  | FSelect of fselect
+
+and floop = {
+  fo_slot : int;       (** Dense line-counter slot of [fo_src_line]. *)
+  fo_src_line : int;
+  fo_trips : Cbsp_source.Ast.trips;
+  fo_split_arity : int;
+  fo_unroll : int;
+  fo_header : fblock;
+  fo_backedge_insts : int;
+  fo_body : fstmt array;
+  fo_entry_marker : Marker.key;  (** Pre-allocated [Loop_entry] key. *)
+  fo_back_marker : Marker.key;   (** Pre-allocated [Loop_back] key. *)
+}
+
+and fselect = {
+  fs_slot : int;     (** Dense line-counter slot of [fs_line]. *)
+  fs_line : int;
+  fs_dispatch : fblock;
+  fs_arms : fstmt array array;
+}
+
+type flat = {
+  fp_bodies : fstmt array array;  (** Indexed by proc slot, in [symbols]
+                                      order; [FCall.fc_proc] indexes this. *)
+  fp_main : int;                  (** Proc slot of the main procedure. *)
+  fp_n_slots : int;               (** Size of the dense line-counter table. *)
+  fp_main_marker : Marker.key;    (** Pre-allocated main [Proc_entry]. *)
+}
+
 type t = {
   program : Cbsp_source.Ast.program;
   config : Config.t;
@@ -58,10 +129,21 @@ type t = {
   symbols : string list;  (** Non-inlined procedure names (debug symbols). *)
   loops : loop_info array;
   inlined : string list;  (** Procedures erased by inlining. *)
+  flat : flat;            (** Flattened bodies, for the fast interpreter. *)
 }
 
 val find_proc_body : t -> string -> mstmt list
 (** @raise Not_found for inlined or unknown procedures. *)
+
+val flatten :
+  proc_bodies:(string, mstmt list) Hashtbl.t ->
+  symbols:string list ->
+  main:string ->
+  layout:Layout.t ->
+  flat
+(** Flatten lowered bodies (called by {!Cbsp_compiler.Lower.compile}).
+    @raise Not_found if an [MCall] targets a procedure outside [symbols]
+    (cannot happen for validated programs). *)
 
 val static_marker_keys : t -> Marker.key list
 (** Every marker key this binary can emit (procedure entries of surviving

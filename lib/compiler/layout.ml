@@ -40,6 +40,10 @@ let elem_addr t ~array_id ~index =
 
 let array_length t ~array_id = t.lengths.(array_id)
 
+let array_base t ~array_id = t.bases.(array_id)
+
+let array_elem_bytes t ~array_id = t.elem_bytes.(array_id)
+
 let stack_addr t ~depth ~slot =
   let offset = slot * 8 mod Costmodel.frame_bytes in
   t.stack_base + (depth * Costmodel.frame_bytes) + offset

@@ -17,6 +17,13 @@ val elem_addr : t -> array_id:int -> index:int -> int
 val array_length : t -> array_id:int -> int
 (** Elements in the array (for cursor arithmetic). *)
 
+val array_base : t -> array_id:int -> int
+(** Byte address of element 0 — with {!array_elem_bytes}, lets hot loops
+    compute [elem_addr] inline for already-reduced indices. *)
+
+val array_elem_bytes : t -> array_id:int -> int
+(** Bytes per element of the array. *)
+
 val stack_addr : t -> depth:int -> slot:int -> int
 (** Address of spill slot [slot] in the frame at call [depth].  Slots wrap
     within {!Costmodel.frame_bytes}. *)

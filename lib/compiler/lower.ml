@@ -149,11 +149,12 @@ let compile (program : Ast.program) (config : Config.t) =
         (lower_stmts st ~mangled:false p.Ast.proc_body))
     survivors;
   let main_body = Hashtbl.find proc_bodies program.Ast.main in
+  let layout = Layout.build program config.Config.isa in
+  let symbols = List.map (fun p -> p.Ast.proc_name) survivors in
   { Binary.program; config; main_body; proc_bodies; n_blocks = st.next_block;
-    layout = Layout.build program config.Config.isa;
-    symbols = List.map (fun p -> p.Ast.proc_name) survivors;
-    loops = Array.of_list (List.rev st.loops_rev);
-    inlined = st.inline_set }
+    layout; symbols; loops = Array.of_list (List.rev st.loops_rev);
+    inlined = st.inline_set;
+    flat = Binary.flatten ~proc_bodies ~symbols ~main:program.Ast.main ~layout }
 
 let compile_paper_four ?loop_splitting program =
   List.map (compile program) (Config.paper_four ?loop_splitting ())

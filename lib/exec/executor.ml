@@ -32,6 +32,14 @@ let counting_observer () =
   ( { null_observer with on_block = (fun _ insts -> count := !count + insts) },
     fun () -> !count )
 
+(* ------------------------------------------------------------------ *)
+(* Tree-walking reference interpreter.
+
+   The original executor, kept as the semantic reference: the flat
+   interpreter below must emit a bit-identical event stream (the test
+   suite proves it on random programs).  All optimization happens in the
+   flat path; this one stays deliberately simple. *)
+
 type state = {
   binary : Binary.t;
   input : Input.t;
@@ -97,9 +105,12 @@ let perform_access st (acc : Ast.access) =
         st.chase_pos.(array_id) <- c + 1;
         Rng.hash2 c (array_id + 1) mod len
       | Ast.Hot { window } ->
+        (* The Seq cursor of the same array can sit anywhere below [len],
+           so the window draw must wrap — an unreduced index would read
+           past the array but for [elem_addr]'s defensive modulo. *)
         let w = min window len in
-        st.cursors.(array_id)
-        + Rng.int st.rand_streams.(array_id) ~bound:w
+        (st.cursors.(array_id) + Rng.int st.rand_streams.(array_id) ~bound:w)
+        mod len
     in
     let addr = Layout.elem_addr st.layout ~array_id ~index in
     emit_access st addr (is_write_at ~write_ratio:acc.acc_write_ratio i)
@@ -164,7 +175,7 @@ and exec_loop st (l : Binary.mloop) =
     end
   done
 
-let run binary input obs =
+let run_tree binary input obs =
   let program = binary.Binary.program in
   let n_arrays = Array.length program.Ast.arrays in
   let st =
@@ -181,3 +192,176 @@ let run binary input obs =
   exec_stmts st binary.Binary.main_body;
   { insts = st.t_insts; blocks = st.t_blocks; accesses = st.t_accesses;
     markers = st.t_markers }
+
+(* ------------------------------------------------------------------ *)
+(* Flat interpreter.
+
+   Walks [Binary.flat]: contiguous statement arrays, pre-decoded access
+   patterns (the per-access match is performed once per access site, not
+   once per element), pre-allocated marker keys, inline address
+   arithmetic, and a dense [int array] for the per-line dynamic counters.
+
+   When the caller passes [null_observer] (physically), the interpreter
+   takes a counting-only fast path: totals are exact, but the address
+   streams — observable only through the observer — are not materialized,
+   so no cursor/RNG work is done at all. *)
+
+type fstate = {
+  f_input : Input.t;
+  f_obs : observer;
+  f_fast : bool;                      (* null observer: count, don't emit *)
+  f_bodies : Binary.fstmt array array;
+  f_layout : Layout.t;                (* for spill-slot addressing *)
+  f_bases : int array;
+  f_ebytes : int array;
+  f_lengths : int array;
+  f_cursors : int array;
+  f_chase : int array;
+  f_rand : Rng.t array;
+  f_lines : int array;                (* dense per-line dynamic counters *)
+  mutable f_depth : int;
+  mutable f_insts : int;
+  mutable f_blocks : int;
+  mutable f_accesses : int;
+  mutable f_markers : int;
+}
+
+let f_emit_block st id insts =
+  st.f_insts <- st.f_insts + insts;
+  st.f_blocks <- st.f_blocks + 1;
+  if not st.f_fast then st.f_obs.on_block id insts
+
+let f_emit_marker st key =
+  st.f_markers <- st.f_markers + 1;
+  if not st.f_fast then st.f_obs.on_marker key
+
+let f_access st (a : Binary.faccess) =
+  let n = a.fa_count in
+  st.f_accesses <- st.f_accesses + n;
+  if not st.f_fast then begin
+    let aid = a.fa_array in
+    let base = st.f_bases.(aid) in
+    let eb = st.f_ebytes.(aid) in
+    let len = st.f_lengths.(aid) in
+    let tenths = a.fa_write_tenths in
+    let obs = st.f_obs in
+    if a.fa_kind = Binary.pat_seq then begin
+      let stride = a.fa_param in
+      let c = ref st.f_cursors.(aid) in
+      for i = 0 to n - 1 do
+        let idx = !c in
+        c := (idx + stride) mod len;
+        obs.on_access (base + (idx * eb)) (i mod 10 < tenths)
+      done;
+      st.f_cursors.(aid) <- !c
+    end
+    else if a.fa_kind = Binary.pat_rand then begin
+      let rng = st.f_rand.(aid) in
+      for i = 0 to n - 1 do
+        let idx = Rng.int rng ~bound:len in
+        obs.on_access (base + (idx * eb)) (i mod 10 < tenths)
+      done
+    end
+    else if a.fa_kind = Binary.pat_chase then begin
+      let c = ref st.f_chase.(aid) in
+      for i = 0 to n - 1 do
+        let idx = Rng.hash2 !c (aid + 1) mod len in
+        incr c;
+        obs.on_access (base + (idx * eb)) (i mod 10 < tenths)
+      done;
+      st.f_chase.(aid) <- !c
+    end
+    else begin
+      (* Hot: the window was clamped to [len] at flatten time. *)
+      let w = a.fa_param in
+      let cur = st.f_cursors.(aid) in
+      let rng = st.f_rand.(aid) in
+      for i = 0 to n - 1 do
+        let idx = (cur + Rng.int rng ~bound:w) mod len in
+        obs.on_access (base + (idx * eb)) (i mod 10 < tenths)
+      done
+    end
+  end
+
+let f_spills st n =
+  st.f_accesses <- st.f_accesses + n;
+  if not st.f_fast then
+    for slot = 0 to n - 1 do
+      let addr = Layout.stack_addr st.f_layout ~depth:st.f_depth ~slot in
+      st.f_obs.on_access addr (slot land 1 = 1)
+    done
+
+let f_exec_block st (b : Binary.fblock) =
+  f_emit_block st b.fb_id b.fb_insts;
+  let accs = b.fb_accesses in
+  for i = 0 to Array.length accs - 1 do
+    f_access st accs.(i)
+  done;
+  if b.fb_spills > 0 then f_spills st b.fb_spills
+
+let rec f_exec_stmts st (code : Binary.fstmt array) =
+  for i = 0 to Array.length code - 1 do
+    match code.(i) with
+    | Binary.FBlock b -> f_exec_block st b
+    | Binary.FCall { fc_overhead; fc_proc; fc_marker } ->
+      f_exec_block st fc_overhead;
+      f_emit_marker st fc_marker;
+      st.f_depth <- st.f_depth + 1;
+      f_exec_stmts st st.f_bodies.(fc_proc);
+      st.f_depth <- st.f_depth - 1
+    | Binary.FSelect s ->
+      f_exec_block st s.fs_dispatch;
+      let exec_index = st.f_lines.(s.fs_slot) in
+      st.f_lines.(s.fs_slot) <- exec_index + 1;
+      let arm =
+        Input.select_arm st.f_input ~line:s.fs_line ~exec_index
+          ~arms:(Array.length s.fs_arms)
+      in
+      f_exec_stmts st s.fs_arms.(arm)
+    | Binary.FLoop l -> f_exec_loop st l
+  done
+
+and f_exec_loop st (l : Binary.floop) =
+  f_emit_marker st l.fo_entry_marker;
+  f_exec_block st l.fo_header;
+  let machine_entry = st.f_lines.(l.fo_slot) in
+  st.f_lines.(l.fo_slot) <- machine_entry + 1;
+  let entry_index = machine_entry / l.fo_split_arity in
+  let trips =
+    Input.eval_trips l.fo_trips st.f_input ~line:l.fo_src_line ~entry_index
+  in
+  let unroll = l.fo_unroll in
+  let header_id = l.fo_header.Binary.fb_id in
+  let back_insts = l.fo_backedge_insts in
+  for i = 0 to trips - 1 do
+    f_exec_stmts st l.fo_body;
+    if i mod unroll = unroll - 1 || i = trips - 1 then begin
+      f_emit_block st header_id back_insts;
+      f_emit_marker st l.fo_back_marker
+    end
+  done
+
+let run binary input obs =
+  let flat = binary.Binary.flat in
+  let layout = binary.Binary.layout in
+  let n_arrays = Layout.n_arrays layout in
+  let st =
+    { f_input = input; f_obs = obs; f_fast = obs == null_observer;
+      f_bodies = flat.Binary.fp_bodies; f_layout = layout;
+      f_bases = Array.init n_arrays (fun i -> Layout.array_base layout ~array_id:i);
+      f_ebytes =
+        Array.init n_arrays (fun i -> Layout.array_elem_bytes layout ~array_id:i);
+      f_lengths =
+        Array.init n_arrays (fun i -> Layout.array_length layout ~array_id:i);
+      f_cursors = Array.make n_arrays 0;
+      f_chase = Array.make n_arrays 0;
+      f_rand =
+        Array.init n_arrays (fun i ->
+            Rng.split (Rng.create ~seed:input.Input.seed) ~tag:(i + 1));
+      f_lines = Array.make flat.Binary.fp_n_slots 0; f_depth = 0;
+      f_insts = 0; f_blocks = 0; f_accesses = 0; f_markers = 0 }
+  in
+  f_emit_marker st flat.Binary.fp_main_marker;
+  f_exec_stmts st st.f_bodies.(flat.Binary.fp_main);
+  { insts = st.f_insts; blocks = st.f_blocks; accesses = st.f_accesses;
+    markers = st.f_markers }

@@ -42,6 +42,23 @@ val counting_observer : unit -> observer * (unit -> int)
 (** An observer that only counts instructions, and its reader. *)
 
 val run : Cbsp_compiler.Binary.t -> Cbsp_source.Input.t -> observer -> totals
-(** Execute the whole program.  @raise Not_found if an [MCall] targets a
-    procedure missing from the binary (cannot happen for binaries built by
+(** Execute the whole program, interpreting the flattened form
+    ({!Cbsp_compiler.Binary.flat}): contiguous statement arrays, access
+    patterns pre-decoded so the per-element inner loops carry no match or
+    closure dispatch, pre-allocated marker keys, and dense line-counter
+    slots in place of the reference interpreter's hashtable.
+
+    Passing {!null_observer} itself (physical identity) selects a
+    counting-only fast path: the returned totals are identical, but the
+    address streams — observable only through the observer — are never
+    materialized. *)
+
+val run_tree : Cbsp_compiler.Binary.t -> Cbsp_source.Input.t -> observer -> totals
+(** The tree-walking reference interpreter (the executor as originally
+    written).  [run] and [run_tree] emit bit-identical event streams and
+    totals for every (binary, input, observer); the test suite checks
+    this on random programs.  Kept for equivalence testing and as
+    executable documentation of the semantics.
+    @raise Not_found if an [MCall] targets a procedure missing from the
+    binary (cannot happen for binaries built by
     {!Cbsp_compiler.Lower.compile} on validated programs). *)

@@ -11,7 +11,16 @@
     empty out are reseeded on the point farthest from its centroid, so the
     result always has exactly the k requested — unless there are fewer
     distinct points than k, in which case duplicate centroids are
-    harmless. *)
+    harmless.
+
+    {!run} prunes the assignment step with Hamerly-style triangle-
+    inequality bounds (per-point upper/lower distance bounds, invalidated
+    by centroid drift) and can run assignment, accumulation, and
+    distortion domain-parallel.  Point-order floating-point reductions
+    follow one canonical fixed-chunk order regardless of [jobs], so the
+    result is bit-identical to {!run_reference} — the plain Lloyd
+    implementation kept as the semantic reference — for every [jobs]
+    (the test suite proves this on random weighted point sets). *)
 
 type result = {
   k : int;
@@ -26,14 +35,30 @@ val run :
   ?seed:int ->
   ?restarts:int ->
   ?max_iters:int ->
+  ?jobs:int ->
   k:int ->
   weights:float array ->
   points:float array array ->
   unit ->
   result
-(** Best-of-[restarts] (default 5) by distortion.  All weights must be
-    > 0 and [1 <= k <= Array.length points].
+(** Best-of-[restarts] (default 5) by distortion, with Hamerly-pruned
+    assignment.  [jobs] (default 1) is the worker-domain cap for the
+    per-chunk parallel phases; any value returns bit-identical results.
+    All weights must be > 0 and [1 <= k <= Array.length points].
     @raise Invalid_argument on bad arguments. *)
+
+val run_reference :
+  ?seed:int ->
+  ?restarts:int ->
+  ?max_iters:int ->
+  k:int ->
+  weights:float array ->
+  points:float array array ->
+  unit ->
+  result
+(** Plain sequential Lloyd over full distance scans — the reference
+    {!run} is tested against.  Same seeding, same canonical reduction
+    order, no pruning, no parallelism. *)
 
 val cluster_weights : result -> weights:float array -> float array
 (** Total weight per cluster; sums to the total input weight. *)

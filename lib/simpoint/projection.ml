@@ -1,4 +1,5 @@
 module Rng = Cbsp_util.Rng
+module Scheduler = Cbsp_engine.Scheduler
 
 type t = { matrix : float array array; in_dim : int; out_dim : int }
 (* matrix.(j) is the j-th input dimension's row of [out_dim] coefficients:
@@ -19,10 +20,8 @@ let in_dim t = t.in_dim
 
 let out_dim t = t.out_dim
 
-let apply t v =
-  if Array.length v <> t.in_dim then
-    invalid_arg "Projection.apply: dimension mismatch";
-  let out = Array.make t.out_dim 0.0 in
+(* [out] is assumed zeroed and of length [out_dim]. *)
+let apply_to_zeroed t v out =
   for j = 0 to t.in_dim - 1 do
     let x = v.(j) in
     if x <> 0.0 then begin
@@ -31,7 +30,53 @@ let apply t v =
         out.(i) <- out.(i) +. (x *. row.(i))
       done
     end
-  done;
+  done
+
+let apply_into t v out =
+  if Array.length v <> t.in_dim then
+    invalid_arg "Projection.apply: dimension mismatch";
+  if Array.length out <> t.out_dim then
+    invalid_arg "Projection.apply_into: output buffer length mismatch";
+  Array.fill out 0 t.out_dim 0.0;
+  apply_to_zeroed t v out
+
+let apply t v =
+  if Array.length v <> t.in_dim then
+    invalid_arg "Projection.apply: dimension mismatch";
+  let out = Array.make t.out_dim 0.0 in
+  apply_to_zeroed t v out;
   out
 
-let apply_all t vs = Array.map (apply t) vs
+(* Rows are independent, so worker count cannot affect the result; the
+   output matrix is allocated up front and rows are filled in place, in
+   fixed chunks. *)
+let rows_per_chunk = 32
+
+let apply_all ?(jobs = 1) t vs =
+  let n = Array.length vs in
+  Array.iter
+    (fun v ->
+      if Array.length v <> t.in_dim then
+        invalid_arg "Projection.apply: dimension mismatch")
+    vs;
+  let out = Array.init n (fun _ -> Array.make t.out_dim 0.0) in
+  if jobs <= 1 then
+    for r = 0 to n - 1 do
+      apply_to_zeroed t vs.(r) out.(r)
+    done
+  else begin
+    let chunks =
+      List.init ((n + rows_per_chunk - 1) / rows_per_chunk) (fun c ->
+          (c * rows_per_chunk, min n ((c + 1) * rows_per_chunk)))
+    in
+    let (_ : unit list) =
+      Scheduler.parallel_map ~jobs
+        (fun (lo, hi) ->
+          for r = lo to hi - 1 do
+            apply_to_zeroed t vs.(r) out.(r)
+          done)
+        chunks
+    in
+    ()
+  end;
+  out

@@ -18,4 +18,13 @@ val out_dim : t -> int
 val apply : t -> float array -> float array
 (** @raise Invalid_argument if the vector's length is not [in_dim]. *)
 
-val apply_all : t -> float array array -> float array array
+val apply_into : t -> float array -> float array -> unit
+(** [apply_into t v out] projects [v] into the caller-provided buffer
+    [out] (overwritten), avoiding the per-call allocation of {!apply}.
+    @raise Invalid_argument if [v] is not [in_dim] long or [out] is not
+    [out_dim] long. *)
+
+val apply_all : ?jobs:int -> t -> float array array -> float array array
+(** Project every row, filling a pre-allocated output matrix in place.
+    [jobs] (default 1) caps the worker domains; rows are independent, so
+    the result is identical for any value. *)

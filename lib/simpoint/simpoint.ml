@@ -13,11 +13,12 @@ type config = {
   seed : int;
   rep_policy : rep_policy;
   k_search : k_search;
+  jobs : int;
 }
 
 let default_config =
   { max_k = 10; dims = 15; bic_fraction = 0.9; restarts = 5; max_iters = 100;
-    seed = 2007; rep_policy = Centroid; k_search = All_k }
+    seed = 2007; rep_policy = Centroid; k_search = All_k; jobs = 1 }
 
 type sim_point = { phase : int; rep : int; weight : float }
 
@@ -64,7 +65,7 @@ let pick ?(config = default_config) ~weights ~bbvs () =
   let in_dim = Array.length bbvs.(0) in
   let out_dim = min config.dims in_dim in
   let projection = Projection.create ~seed:config.seed ~in_dim ~out_dim in
-  let points = Projection.apply_all projection normalized in
+  let points = Projection.apply_all ~jobs:config.jobs projection normalized in
   let max_k = min config.max_k n in
   (* Memoized clustering per k, so the two search strategies share code. *)
   let cache = Hashtbl.create 16 in
@@ -74,7 +75,7 @@ let pick ?(config = default_config) ~weights ~bbvs () =
     | None ->
       let result =
         Kmeans.run ~seed:(config.seed + k) ~restarts:config.restarts
-          ~max_iters:config.max_iters ~k ~weights ~points ()
+          ~max_iters:config.max_iters ~jobs:config.jobs ~k ~weights ~points ()
       in
       let score = Bic.score ~weights ~points result in
       Hashtbl.add cache k (result, score);

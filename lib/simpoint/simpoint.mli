@@ -33,11 +33,14 @@ type config = {
   seed : int;         (** Master seed for projection and seeding. *)
   rep_policy : rep_policy;
   k_search : k_search;
+  jobs : int;  (** Worker-domain cap for projection and clustering; any
+                   value gives bit-identical results (nested under an
+                   already-parallel pipeline it degrades to sequential). *)
 }
 
 val default_config : config
 (** max_k 10, dims 15, bic_fraction 0.9, restarts 5, max_iters 100,
-    seed 2007, Centroid representatives, All_k search. *)
+    seed 2007, Centroid representatives, All_k search, jobs 1. *)
 
 type sim_point = {
   phase : int;     (** Cluster id in [0, k). *)

@@ -208,6 +208,90 @@ let test_compose_order () =
    | _ -> Alcotest.fail "observers not called in list order");
   Tutil.check_bool "composition saw events" true (List.length !order > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Flat interpreter vs tree-walking reference.                         *)
+
+type event =
+  | EBlock of int * int
+  | EAccess of int * bool
+  | EMarker of Marker.key
+
+let event_stream run_fn binary =
+  let evs = ref [] in
+  let obs =
+    { Executor.on_block = (fun id insts -> evs := EBlock (id, insts) :: !evs);
+      on_access = (fun addr w -> evs := EAccess (addr, w) :: !evs);
+      on_marker = (fun k -> evs := EMarker k :: !evs) }
+  in
+  let totals = run_fn binary input obs in
+  (totals, List.rev !evs)
+
+let check_flat_matches_tree program ~loop_splitting =
+  List.iteri
+    (fun i binary ->
+      let t_flat, e_flat = event_stream Executor.run binary in
+      let t_tree, e_tree = event_stream Executor.run_tree binary in
+      let tag msg = Printf.sprintf "binary %d: %s" i msg in
+      Tutil.check_bool (tag "stream nonempty") true (e_flat <> []);
+      Tutil.check_bool (tag "event streams identical") true (e_flat = e_tree);
+      Tutil.check_bool (tag "totals identical") true (t_flat = t_tree))
+    (Tutil.compile_all ~loop_splitting program)
+
+let test_flat_matches_tree () =
+  check_flat_matches_tree (Tutil.two_phase_program ()) ~loop_splitting:false;
+  check_flat_matches_tree (Tutil.splittable_program ()) ~loop_splitting:true
+
+(* The no-observer fast path skips all address computation; its totals
+   must still agree with a fully observed run. *)
+let test_fast_path_totals () =
+  List.iter
+    (fun binary ->
+      let fast = Executor.run binary input Executor.null_observer in
+      let obs, _ = Executor.counting_observer () in
+      let observed = Executor.run binary input obs in
+      Tutil.check_bool "fast-path totals equal observed-run totals" true
+        (fast = observed))
+    (Tutil.compile_all (Tutil.two_phase_program ()))
+
+(* Regression: a Hot window wider than its array must still yield
+   addresses inside the array's span (the index wraps mod length in both
+   interpreters), even when interleaved Seq accesses on the same array
+   push the shared cursor toward the end. *)
+let test_hot_window_exceeds_length () =
+  let len = 32 in
+  let b = B.create ~name:"hotwrap" in
+  let arr = B.data_array b ~name:"buf" ~elem_bytes:8 ~length:len in
+  B.proc b ~name:"main"
+    [ B.loop b ~trips:(Ast.Fixed 200)
+        [ B.work b ~insts:10
+            ~accesses:
+              [ B.seq ~arr ~stride:7 ~count:3 ();
+                B.hot ~arr ~window:(4 * len) ~count:3 () ]
+            () ] ];
+  let program = B.finish b ~main:"main" in
+  List.iter
+    (fun binary ->
+      let layout = binary.Binary.layout in
+      let base = Cbsp_compiler.Layout.array_base layout ~array_id:0 in
+      let span = len * Cbsp_compiler.Layout.array_elem_bytes layout ~array_id:0 in
+      let stack_floor = Cbsp_compiler.Layout.stack_addr layout ~depth:0 ~slot:0 in
+      let seen = ref 0 in
+      let obs =
+        { Executor.null_observer with
+          Executor.on_access =
+            (fun addr _ ->
+              if addr < stack_floor then begin
+                incr seen;
+                if addr < base || addr >= base + span then
+                  Alcotest.failf "address %#x outside array span" addr
+              end) }
+      in
+      List.iter
+        (fun run_fn -> ignore (run_fn binary input obs))
+        [ Executor.run; Executor.run_tree ];
+      Tutil.check_bool "hot/seq accesses observed" true (!seen > 0))
+    (Tutil.compile_all program)
+
 let test_counting_observer () =
   let program = Tutil.single_loop_program () in
   let binary = Lower.compile program (Config.v Isa.X86_32 Config.O0) in
@@ -229,6 +313,10 @@ let () =
           Tutil.quick "data stream across isa" test_data_stream_invariant_across_isa;
           Tutil.quick "marker stream equality" test_marker_stream_equivalence;
           Tutil.quick "split preserves accesses" test_split_preserves_access_multiset ] );
+      ( "flat interpreter",
+        [ Tutil.quick "flat matches tree" test_flat_matches_tree;
+          Tutil.quick "fast-path totals" test_fast_path_totals;
+          Tutil.quick "hot window wraps" test_hot_window_exceeds_length ] );
       ( "observers",
         [ Tutil.quick "compose order" test_compose_order;
           Tutil.quick "counting observer" test_counting_observer ] ) ]

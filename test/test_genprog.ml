@@ -218,6 +218,34 @@ let data_addrs binary =
   let (_ : Executor.totals) = Executor.run binary input obs in
   (!h, !count)
 
+(* Full-fidelity event stream (blocks, accesses, markers), folded into an
+   order-sensitive hash so huge random programs stay cheap to compare. *)
+let event_hash run_fn binary =
+  let h = ref 0 and count = ref 0 in
+  let note x =
+    h := Cbsp_util.Rng.hash2 !h x;
+    incr count
+  in
+  let obs =
+    { Executor.on_block = (fun id insts -> note 1; note id; note insts);
+      on_access = (fun addr w -> note 2; note addr; note (Bool.to_int w));
+      on_marker = (fun key -> note 3; note (Hashtbl.hash key)) }
+  in
+  let totals = run_fn binary input obs in
+  (totals, !h, !count)
+
+let prop_flat_matches_tree =
+  (* the tentpole equivalence: the flattened interpreter emits exactly the
+     tree walker's observer event stream and totals, on every binary of
+     every random program *)
+  QCheck.Test.make ~name:"flat interpreter = tree reference" ~count:25
+    (QCheck.make plan_gen) (fun plan ->
+      let program = build_program plan in
+      List.for_all
+        (fun binary ->
+          event_hash Executor.run binary = event_hash Executor.run_tree binary)
+        (binaries_of plan program))
+
 let prop_data_stream_across_opt =
   (* without splitting, O0 and O2 of the same ISA touch the same data in
      the same order *)
@@ -237,4 +265,5 @@ let () =
           Tutil.qcheck_case prop_opt_reduces_insts;
           Tutil.qcheck_case prop_marker_stream_equal;
           Tutil.qcheck_case prop_boundaries_replay;
+          Tutil.qcheck_case prop_flat_matches_tree;
           Tutil.qcheck_case prop_data_stream_across_opt ] ) ]

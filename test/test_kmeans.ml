@@ -154,6 +154,34 @@ let prop_weighted_centroid_invariant =
       done;
       !ok)
 
+let prop_pruned_parallel_matches_reference =
+  (* The tentpole bit-identity claim: the Hamerly-pruned, domain-parallel
+     clustering returns EXACTLY the plain-Lloyd reference result —
+     assignments, centroids, distortion and iteration count — for any
+     worker count. *)
+  QCheck.Test.make ~name:"pruned/parallel k-means = reference Lloyd" ~count:20
+    QCheck.(pair (int_range 0 1000) (int_range 2 6))
+    (fun (seed, k) ->
+      let rng = Rng.create ~seed:(seed + 7_000) in
+      let n = 40 + Rng.int rng ~bound:80 in
+      let dims = 2 + Rng.int rng ~bound:6 in
+      let points =
+        Array.init n (fun _ ->
+            Array.init dims (fun _ -> 20.0 *. (Rng.float rng -. 0.5)))
+      in
+      let weights = Array.init n (fun _ -> 0.5 +. Rng.float rng) in
+      let reference =
+        Kmeans.run_reference ~seed ~k ~weights ~points ~restarts:2 ()
+      in
+      List.for_all
+        (fun jobs ->
+          let r = Kmeans.run ~seed ~k ~weights ~points ~restarts:2 ~jobs () in
+          r.Kmeans.assignments = reference.Kmeans.assignments
+          && r.Kmeans.centroids = reference.Kmeans.centroids
+          && r.Kmeans.distortion = reference.Kmeans.distortion
+          && r.Kmeans.iterations = reference.Kmeans.iterations)
+        [ 1; 2; 4 ])
+
 let () =
   Alcotest.run "kmeans"
     [ ( "clustering",
@@ -168,4 +196,6 @@ let () =
       ( "selection",
         [ Tutil.quick "cluster weights" test_cluster_weights;
           Tutil.quick "closest to centroid" test_closest_to_centroid ] );
-      ("properties", [ Tutil.qcheck_case prop_weighted_centroid_invariant ]) ]
+      ( "properties",
+        [ Tutil.qcheck_case prop_weighted_centroid_invariant;
+          Tutil.qcheck_case prop_pruned_parallel_matches_reference ] ) ]
