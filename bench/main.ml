@@ -24,6 +24,7 @@ module Interval = Cbsp_profile.Interval
 module Structprof = Cbsp_profile.Structprof
 module Kmeans = Cbsp_simpoint.Kmeans
 module Projection = Cbsp_simpoint.Projection
+module Sampler = Cbsp_sampling.Sampler
 module Cache = Cbsp_cache.Cache
 module Hierarchy = Cbsp_cache.Hierarchy
 module Pipeline = Cbsp.Pipeline
@@ -100,6 +101,22 @@ let seed_baseline_ns =
     ("kmeans/k8_150pts", 306_061.0);
     ("projection/apply_400to15", 7_550.0) ]
 
+(* A 2000-interval synthetic population with 8 phase-like strata whose
+   CPI levels differ, exercising every branch of the estimators
+   (allocation, per-stratum SRS, Satterthwaite df). *)
+let sampling_population =
+  let rng = Rng.create ~seed:30 in
+  let n = 2000 in
+  let strata = Array.init n (fun _ -> Rng.int rng ~bound:8) in
+  let insts = Array.init n (fun _ -> 5_000.0 +. (10_000.0 *. Rng.float rng)) in
+  let cycles =
+    Array.init n (fun i ->
+        let base = 1.0 +. (0.5 *. float_of_int strata.(i)) in
+        insts.(i) *. (base +. (0.2 *. Rng.float rng)))
+  in
+  let proxy = Array.map (fun s -> float_of_int s /. 8.0) strata in
+  (insts, cycles, strata, proxy)
+
 type kernel_spec = {
   ks_name : string;
   ks_baseline : float option;   (* recorded seed ns/op for this kernel *)
@@ -171,7 +188,23 @@ let kernel_specs =
     kernel "projection/apply_all_300rows_map"
       (fun () ->
         let p, _ = projection_fixture in
-        Array.map (Projection.apply p) projection_rows) ]
+        Array.map (Projection.apply p) projection_rows);
+    (* sampling estimators: cost of one estimate over a 2000-interval
+       population (selection + ratio estimate + t-quantile CI), the
+       per-run overhead `cbsp sample` pays on top of the profiling pass *)
+    kernel "sampling/srs_2000"
+      (fun () ->
+        let insts, cycles, _, _ = sampling_population in
+        Sampler.srs ~rng:(Rng.create ~seed:31) ~n:64 ~insts ~cycles ());
+    kernel "sampling/systematic_2000"
+      (fun () ->
+        let insts, cycles, _, _ = sampling_population in
+        Sampler.systematic ~rng:(Rng.create ~seed:31) ~n:64 ~insts ~cycles ());
+    kernel "sampling/stratified_2000"
+      (fun () ->
+        let insts, cycles, strata, proxy = sampling_population in
+        Sampler.stratified ~rng:(Rng.create ~seed:31) ~n:64 ~strata ~proxy
+          ~insts ~cycles ()) ]
 
 (* ------------------------------------------------------------------ *)
 (* Micro benchmarks                                                    *)

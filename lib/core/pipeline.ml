@@ -12,6 +12,9 @@ module Scheduler = Cbsp_engine.Scheduler
 module Store = Cbsp_engine.Store
 module Timing = Cbsp_engine.Timing
 module Stage = Cbsp_engine.Stage
+module Rng = Cbsp_util.Rng
+module Sampler = Cbsp_sampling.Sampler
+module Strata = Cbsp_sampling.Strata
 
 type truth = { t_insts : int; t_cycles : float; t_cpi : float }
 
@@ -373,7 +376,13 @@ let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
                 (totals, read_follow ()))
           in
           if Array.length intervals <> Array.length primary_intervals then
-            failwith "Pipeline.run_vli: interval count diverged across binaries";
+            invalid_arg
+              (Printf.sprintf
+                 "Pipeline.run_vli: interval count diverged across binaries \
+                  (%s: %d intervals vs primary's %d)"
+                 (Config.label binary.Binary.config)
+                 (Array.length intervals)
+                 (Array.length primary_intervals));
           timed_summarize eng ~label ~config:binary.Binary.config
             ~truth:(measure_truth totals cpu)
             ~counter_names:(Cpu.extra_counter_names cpu) ~clustering intervals
@@ -385,6 +394,168 @@ let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
     vli_points =
       { pt_target = target; pt_boundaries = boundaries;
         pt_phase_of = clustering.cl_phase_of; pt_reps = clustering.cl_reps } }
+
+(* ------------------------------------------------------------------ *)
+(* Statistical sampling estimators: the third estimation method next   *)
+(* to FLI and VLI SimPoint, sharing the engine's memoized artifacts.   *)
+
+type sampler_run = { sr_seed : int; sr_estimate : Sampler.estimate }
+
+type method_runs = { mr_method : string; mr_runs : sampler_run list }
+
+type sampling_binary = {
+  sb_config : Config.t;
+  sb_truth : truth;
+  sb_sp_cpi : float;
+  sb_sp_error : float;
+  sb_sp_cost_insts : float;
+  sb_n_intervals : int;
+  sb_n_live : int;
+  sb_methods : method_runs list;
+}
+
+type sampling_result = {
+  smp_binaries : sampling_binary list;
+  smp_target : int;
+  smp_n : int;
+  smp_level : float;
+  smp_seeds : int list;
+}
+
+let sampling_methods = [ "srs"; "systematic"; "strat-phase"; "strat-mix" ]
+
+let run_sampling ?(sp_config = Simpoint.default_config) ?cache_config ?engine
+    ?(level = 0.95) ?(seeds = [ 2007 ]) program ~configs ~input ~target ~n =
+  if configs = [] then invalid_arg "Pipeline.run_sampling: no configs";
+  if n < 2 then invalid_arg "Pipeline.run_sampling: sample size must be >= 2";
+  if seeds = [] then invalid_arg "Pipeline.run_sampling: no seeds";
+  let eng = match engine with Some e -> e | None -> create_engine () in
+  let binaries =
+    Scheduler.parallel_map ~jobs:eng.eng_jobs
+      (fun (ci, (config : Config.t)) ->
+        let binary = compile eng program config in
+        let label = job_label program config ~kind:"sample" in
+        let cpu = Cpu.create ?config:cache_config () in
+        let iobs, read =
+          Interval.fli_observer ~n_blocks:binary.Binary.n_blocks ~target
+            ~cycles:(fun () -> Cpu.cycles cpu)
+            ~extras:(fun () -> Cpu.extra_counters cpu)
+            ()
+        in
+        (* One full pass per binary, exactly like FLI: it yields the
+           per-interval population the samplers draw from AND the true
+           CPI the confidence intervals are judged against. *)
+        let totals, intervals =
+          Timing.time eng.eng_timing ~stage:Stage.Interval_collection ~label
+            ~in_size:binary.Binary.n_blocks
+            ~out_size:(fun (t, _) -> t.Executor.insts)
+            (fun () ->
+              let totals =
+                Executor.run binary input
+                  (Executor.compose [ iobs; Cpu.observer cpu ])
+              in
+              (totals, read ()))
+        in
+        let truth = measure_truth totals cpu in
+        (* The k-means phases double as the SimPoint baseline (via the
+           usual summarize) and as one of the stratifications. *)
+        let clustering = timed_cluster eng ~label ~sp_config intervals in
+        let sp =
+          timed_summarize eng ~label ~config ~truth
+            ~counter_names:(Cpu.extra_counter_names cpu) ~clustering intervals
+        in
+        let insts =
+          Array.map
+            (fun (iv : Interval.interval) -> float_of_int iv.Interval.insts)
+            intervals
+        in
+        let cycles =
+          Array.map (fun (iv : Interval.interval) -> iv.Interval.cycles)
+            intervals
+        in
+        let n_live =
+          Array.fold_left
+            (fun a (iv : Interval.interval) ->
+              if iv.Interval.insts > 0 then a + 1 else a)
+            0 intervals
+        in
+        (* Phase-1 instruction-mix proxy: drives Neyman allocation and
+           provides the second (quantile) stratification. *)
+        let mix =
+          Strata.access_mix binary
+            ~bbvs:
+              (Array.map (fun (iv : Interval.interval) -> iv.Interval.bbv)
+                 intervals)
+        in
+        let mix_strata =
+          Strata.quantile_bins ~bins:(max 2 (min 8 (n / 2))) mix
+        in
+        let run_method mi m seed =
+          (* One independent stream per (binary, method, seed): sampling
+             decisions never interact across methods or configurations. *)
+          let rng =
+            Rng.split (Rng.create ~seed) ~tag:((ci * 61) + mi)
+          in
+          let estimate =
+            match m with
+            | "srs" -> Sampler.srs ~level ~rng ~n ~insts ~cycles ()
+            | "systematic" ->
+              Sampler.systematic ~level ~rng ~n ~insts ~cycles ()
+            | "strat-phase" ->
+              Sampler.stratified ~level ~name:"strat-phase" ~proxy:mix ~rng ~n
+                ~strata:clustering.cl_phase_of ~insts ~cycles ()
+            | "strat-mix" ->
+              Sampler.stratified ~level ~name:"strat-mix" ~proxy:mix ~rng ~n
+                ~strata:mix_strata ~insts ~cycles ()
+            | other ->
+              invalid_arg ("Pipeline.run_sampling: unknown method " ^ other)
+          in
+          { sr_seed = seed; sr_estimate = estimate }
+        in
+        let methods =
+          List.mapi
+            (fun mi m ->
+              let runs =
+                Timing.time eng.eng_timing ~stage:Stage.Sampling
+                  ~label:(label ^ "/" ^ m)
+                  ~in_size:(Array.length intervals)
+                  ~out_size:(fun rs -> List.length rs)
+                  (fun () -> List.map (run_method mi m) seeds)
+              in
+              { mr_method = m; mr_runs = runs })
+            sampling_methods
+        in
+        let sp_cost =
+          Array.fold_left
+            (fun acc rep -> acc +. insts.(rep))
+            0.0 clustering.cl_reps
+        in
+        { sb_config = config; sb_truth = truth; sb_sp_cpi = sp.br_est_cpi;
+          sb_sp_error = sp.br_cpi_error; sb_sp_cost_insts = sp_cost;
+          sb_n_intervals = Array.length intervals; sb_n_live = n_live;
+          sb_methods = methods })
+      (List.mapi (fun i c -> (i, c)) configs)
+  in
+  { smp_binaries = binaries; smp_target = target; smp_n = n;
+    smp_level = level; smp_seeds = seeds }
+
+let find_sampling_binary result ~label =
+  List.find
+    (fun sb -> Config.label sb.sb_config = label)
+    result.smp_binaries
+
+let sampling_speedup result ~a ~b ~method_ ~seed =
+  let pick lbl =
+    let sb = find_sampling_binary result ~label:lbl in
+    let mr =
+      List.find (fun mr -> mr.mr_method = method_) sb.sb_methods
+    in
+    let run = List.find (fun r -> r.sr_seed = seed) mr.mr_runs in
+    (run.sr_estimate, float_of_int sb.sb_truth.t_insts)
+  in
+  let ea, ia = pick a in
+  let eb, ib = pick b in
+  Sampler.speedup ~a:ea ~insts_a:ia ~b:eb ~insts_b:ib
 
 let replay ?cache_config (binary : Binary.t) ~input points =
   let cpu = Cpu.create ?config:cache_config () in
@@ -399,7 +570,12 @@ let replay ?cache_config (binary : Binary.t) ~input points =
   in
   let intervals = read_follow () in
   if Array.length intervals <> Array.length points.pt_phase_of then
-    failwith "Pipeline.replay: points do not match this (program, input)";
+    invalid_arg
+      (Printf.sprintf
+         "Pipeline.replay: points do not match this (program, input): replay \
+          produced %d intervals, the points file has %d phase labels"
+         (Array.length intervals)
+         (Array.length points.pt_phase_of));
   let clustering =
     { cl_phase_of = points.pt_phase_of; cl_reps = points.pt_reps;
       cl_n_phases = Array.length points.pt_reps }

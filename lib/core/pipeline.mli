@@ -148,6 +148,88 @@ val run_vli :
     @raise Invalid_argument if [primary] is out of range or [configs] is
     empty. *)
 
+(** {1 Statistical sampling estimators}
+
+    The third estimation method, benchmarked against SimPoint: estimate
+    whole-program CPI by statistically sampling the per-interval profile
+    the pipeline already collects, and report a Student-t confidence
+    interval next to each point estimate (which SimPoint cannot do).
+    See {!Cbsp_sampling.Sampler} for the estimator math. *)
+
+type sampler_run = {
+  sr_seed : int;                          (** RNG seed of this run. *)
+  sr_estimate : Cbsp_sampling.Sampler.estimate;
+}
+
+type method_runs = {
+  mr_method : string;   (** One of {!sampling_methods}. *)
+  mr_runs : sampler_run list;  (** One per requested seed, in order. *)
+}
+
+type sampling_binary = {
+  sb_config : Cbsp_compiler.Config.t;
+  sb_truth : truth;
+  sb_sp_cpi : float;    (** SimPoint CPI estimate on the same intervals. *)
+  sb_sp_error : float;  (** SimPoint's relative CPI error. *)
+  sb_sp_cost_insts : float;
+      (** Instructions inside SimPoint's representative intervals — its
+          detailed-simulation cost, comparable to
+          {!Cbsp_sampling.Sampler.estimate.e_cost_insts}. *)
+  sb_n_intervals : int;
+  sb_n_live : int;      (** Intervals with at least one instruction. *)
+  sb_methods : method_runs list;  (** In {!sampling_methods} order. *)
+}
+
+type sampling_result = {
+  smp_binaries : sampling_binary list;  (** Parallel to the input configs. *)
+  smp_target : int;
+  smp_n : int;       (** Requested per-run sample size. *)
+  smp_level : float; (** Confidence level shared by all runs. *)
+  smp_seeds : int list;
+}
+
+val sampling_methods : string list
+(** [["srs"; "systematic"; "strat-phase"; "strat-mix"]] — simple random,
+    systematic, and the two two-phase stratified samplers (k-means phase
+    strata and instruction-mix quantile strata, both Neyman-allocated
+    using the access-mix proxy). *)
+
+val run_sampling :
+  ?sp_config:Cbsp_simpoint.Simpoint.config ->
+  ?cache_config:Cbsp_cache.Hierarchy.config ->
+  ?engine:engine ->
+  ?level:float ->
+  ?seeds:int list ->
+  Cbsp_source.Ast.program ->
+  configs:Cbsp_compiler.Config.t list ->
+  input:Cbsp_source.Input.t ->
+  target:int ->
+  n:int ->
+  sampling_result
+(** One full profiling pass per binary (compile memoized via the engine,
+    interval collection timed as usual), then every sampler in
+    {!sampling_methods} runs once per seed on the resulting interval
+    population, each timed under [Stage.Sampling].  The same pass also
+    yields the SimPoint baseline ([sb_sp_cpi]) and the true CPI the CIs
+    are judged against.  [level] defaults to 0.95, [seeds] to [[2007]].
+    @raise Invalid_argument if [configs] or [seeds] is empty or [n < 2]. *)
+
+val find_sampling_binary : sampling_result -> label:string -> sampling_binary
+(** Look up by config label.  @raise Not_found if absent. *)
+
+val sampling_speedup :
+  sampling_result ->
+  a:string ->
+  b:string ->
+  method_:string ->
+  seed:int ->
+  Cbsp_sampling.Sampler.ratio_ci
+(** Estimated speedup of binary [a] over binary [b] (labels), with the
+    CI propagated through the cycle ratio — "A is 1.31x ± 0.04 faster
+    than B at 95%".  Uses each binary's own estimate from [method_] and
+    [seed] and its true instruction total.
+    @raise Not_found if a label, method or seed is absent. *)
+
 val replay :
   ?cache_config:Cbsp_cache.Hierarchy.config ->
   Cbsp_compiler.Binary.t ->

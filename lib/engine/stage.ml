@@ -5,6 +5,7 @@ type t =
   | Interval_collection
   | Clustering
   | Summarize
+  | Sampling
 
 let name = function
   | Compile -> "compile"
@@ -13,10 +14,11 @@ let name = function
   | Interval_collection -> "interval-collection"
   | Clustering -> "clustering"
   | Summarize -> "summarize"
+  | Sampling -> "sampling"
 
 let all =
   [ Compile; Struct_profile; Matching; Interval_collection; Clustering;
-    Summarize ]
+    Summarize; Sampling ]
 
 let index = function
   | Compile -> 0
@@ -25,5 +27,6 @@ let index = function
   | Interval_collection -> 3
   | Clustering -> 4
   | Summarize -> 5
+  | Sampling -> 6
 
 let compare a b = Int.compare (index a) (index b)

@@ -15,6 +15,7 @@ type t =
   | Interval_collection (** Full execution with interval observers. *)
   | Clustering          (** SimPoint k-means / BIC on the BBVs. *)
   | Summarize           (** Per-binary weights, CPI estimate, metrics. *)
+  | Sampling            (** Statistical sampling estimator (one method). *)
 
 val name : t -> string
 (** Stable lower-case name, e.g. ["interval-collection"]. *)

@@ -143,7 +143,7 @@ let vli_follower ?n_blocks ~boundaries ?cycles ?extras () =
   in
   let read () =
     if !next < total then
-      failwith
+      invalid_arg
         (Printf.sprintf
            "Interval.vli_follower: only %d of %d boundaries reached — \
             boundaries do not belong to this (program, input)"

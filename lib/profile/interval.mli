@@ -77,6 +77,6 @@ val vli_follower :
   Cbsp_exec.Executor.observer * (unit -> interval array)
 (** Replays [boundaries] in order.  BBV collection happens only when
     [n_blocks] is given (followers normally skip it: only the primary's
-    BBVs are clustered).  The reader raises [Failure] if the run ended
-    before every boundary was met — boundaries from a different program
-    or input. *)
+    BBVs are clustered).  The reader raises [Invalid_argument] (with the
+    reached/expected boundary counts) if the run ended before every
+    boundary was met — boundaries from a different program or input. *)

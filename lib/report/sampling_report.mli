@@ -1,0 +1,84 @@
+(** The SimPoint-vs-sampling experiment: run every statistical sampler
+    over a suite of workloads (many seeds each), aggregate error,
+    CI half-width and {b coverage} — the fraction of runs whose
+    confidence interval contains the true CPI, the calibration metric a
+    95% interval should hit ~95% of the time — and render the comparison
+    table next to SimPoint's (CI-free) error on the same intervals.  Also
+    emits the machine-readable [cbsp-sampling/1] JSON consumed by the CI
+    smoke job. *)
+
+type workload_sampling = {
+  ws_name : string;
+  ws_result : Cbsp.Pipeline.sampling_result;
+  ws_seconds : float;
+  ws_timings : Cbsp_engine.Timing.record list;
+}
+
+type t = {
+  sr_workloads : workload_sampling list;
+  sr_target : int;
+  sr_n : int;
+  sr_level : float;
+  sr_seeds : int list;
+}
+
+val run_suite :
+  ?names:string list ->
+  ?target:int ->
+  ?input:Cbsp_source.Input.t ->
+  ?sp_config:Cbsp_simpoint.Simpoint.config ->
+  ?jobs:int ->
+  ?level:float ->
+  ?seeds:int list ->
+  ?progress:(string -> unit) ->
+  n:int ->
+  unit ->
+  t
+(** One {!Cbsp.Pipeline.run_sampling} per workload over the paper's four
+    configurations, scheduled like {!Experiment.run_suite} (workloads are
+    jobs; each gets its own engine).  [names] defaults to the full
+    registry; [seeds] to [[2007]]. *)
+
+val find : t -> string -> workload_sampling
+(** @raise Not_found for unknown names. *)
+
+(** {1 Aggregates}
+
+    All aggregates pool every (binary, seed) run of one method within a
+    workload — coverage over 4 binaries x 20 seeds is 80 Bernoulli
+    trials, enough to see miscalibration. *)
+
+val coverage : workload_sampling -> method_:string -> float
+(** Fraction of the method's runs whose CI covers the binary's true CPI. *)
+
+val mean_abs_error : workload_sampling -> method_:string -> float
+(** Mean relative CPI error [|est - true| / true] over the runs. *)
+
+val mean_rel_half : workload_sampling -> method_:string -> float
+(** Mean CI half-width relative to the true CPI (infinite half-widths are
+    excluded; returns [nan] when no run was estimable). *)
+
+val mean_cost_fraction : workload_sampling -> method_:string -> float
+(** Mean fraction of the program's instructions inside sampled intervals
+    — the detailed-simulation cost relative to full simulation. *)
+
+val simpoint_error : workload_sampling -> float
+(** Mean SimPoint relative CPI error over the workload's binaries, from
+    the same intervals the samplers drew from. *)
+
+val simpoint_cost_fraction : workload_sampling -> float
+(** Mean fraction of instructions inside SimPoint's chosen intervals. *)
+
+val overall_coverage : t -> method_:string -> float
+(** [coverage] pooled over all workloads — the number the CI smoke job
+    gates on. *)
+
+val render : t -> Format.formatter -> unit
+(** Per-workload estimate lines (first seed), the SimPoint-vs-samplers
+    comparison table (error, coverage, mean CI width, cost), and the
+    cross-binary speedup-with-confidence lines for the paper's pairs. *)
+
+val write_json : t -> path:string -> mode:string -> unit
+(** Write the [cbsp-sampling/1] document: per-workload per-binary
+    per-method per-seed estimates plus the aggregates above.  [mode] is
+    recorded verbatim (["smoke"] or ["full"]). *)

@@ -14,6 +14,23 @@ val variance : float array -> float
 
 val stddev : float array -> float
 
+val sample_variance : float array -> float
+(** Unbiased sample variance (the [n - 1] denominator) — what the
+    sampling estimators feed their standard errors; 0 for arrays of
+    length < 2. *)
+
+val t_quantile : df:int -> level:float -> float
+(** Two-sided Student-t critical value: the [c] with
+    [P(|T_df| <= c) = level], e.g. [t_quantile ~df:10 ~level:0.95]
+    is 2.228.  Computed from the regularized incomplete beta function;
+    accurate to well below 1e-8 over the whole table.
+    @raise Invalid_argument if [df < 1] or [level] is outside (0, 1). *)
+
+val confidence_interval : ?level:float -> float array -> float * float
+(** [(lo, hi)] of the Student-t confidence interval for the mean of the
+    samples: [mean -/+ t * sqrt (sample_variance / n)].  [level] defaults
+    to 0.95.  @raise Invalid_argument for fewer than two samples. *)
+
 val geomean : float array -> float
 (** Geometric mean of strictly-positive values.
     @raise Invalid_argument if any value is <= 0. *)

@@ -189,7 +189,7 @@ let test_replay_wrong_program () =
   Tutil.check_bool "mismatched program fails" true
     (match Pipeline.replay other ~input vli.Pipeline.vli_points with
      | (_ : Pipeline.binary_result) -> false
-     | exception Failure _ -> true)
+     | exception Invalid_argument _ -> true)
 
 let test_replay_wrong_input () =
   (* Same program, different input: boundary counts no longer line up. *)
@@ -201,7 +201,7 @@ let test_replay_wrong_input () =
   Tutil.check_bool "mismatched input fails" true
     (match Pipeline.replay binary ~input:other_input vli.Pipeline.vli_points with
      | (_ : Pipeline.binary_result) -> false
-     | exception Failure _ -> true)
+     | exception Invalid_argument _ -> true)
 
 let test_replay_tampered_points () =
   (* A points file whose phase table disagrees with its boundaries (e.g.
@@ -217,9 +217,18 @@ let test_replay_tampered_points () =
           (Array.length pts.Pipeline.pt_phase_of - 1) }
   in
   let binary = Lower.compile (Tutil.two_phase_program ()) (List.hd configs) in
-  Alcotest.check_raises "tampered points rejected"
-    (Failure "Pipeline.replay: points do not match this (program, input)")
-    (fun () -> ignore (Pipeline.replay binary ~input tampered))
+  Tutil.check_bool "tampered points rejected with counts" true
+    (match Pipeline.replay binary ~input tampered with
+     | (_ : Pipeline.binary_result) -> false
+     | exception Invalid_argument msg ->
+       (* The message must carry both the replayed interval count and the
+          phase-label count so the mismatch is diagnosable. *)
+       let has sub =
+         let n = String.length sub and m = String.length msg in
+         let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+         go 0
+       in
+       has "Pipeline.replay" && has "intervals" && has "phase labels")
 
 let test_find_binary_unknown_label () =
   let fli = Pipeline.run_fli (Tutil.two_phase_program ()) ~configs ~input ~target in

@@ -200,7 +200,12 @@ let test_follower_rejects_foreign_boundaries () =
   Tutil.check_bool "unreached boundaries raise" true
     (match fread () with
      | (_ : Interval.interval array) -> false
-     | exception Failure _ -> true)
+     | exception Invalid_argument msg ->
+       (* The message carries the reached/expected boundary counts. *)
+       Tutil.check_bool "message names the follower" true
+         (String.length msg > 0
+          && String.sub msg 0 22 = "Interval.vli_follower:");
+       true)
 
 (* --- edge cases ------------------------------------------------------- *)
 

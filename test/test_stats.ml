@@ -46,6 +46,58 @@ let test_errors () =
     (Invalid_argument "Stats.relative_error: zero truth") (fun () ->
       ignore (Stats.relative_error ~truth:0.0 ~estimate:1.0))
 
+let test_sample_variance () =
+  (* Known value: var([1..5]) with the n-1 denominator is 2.5. *)
+  Tutil.check_float "sample variance" 2.5
+    (Stats.sample_variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  Tutil.check_float "single sample" 0.0 (Stats.sample_variance [| 42.0 |]);
+  Tutil.check_float "empty" 0.0 (Stats.sample_variance [||]);
+  (* n * sample_variance = (n-1) ... relation to population variance *)
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Tutil.check_close ~eps:1e-9 "n/(n-1) scaling"
+    (Stats.variance xs *. 8.0 /. 7.0)
+    (Stats.sample_variance xs)
+
+let test_t_quantile () =
+  (* Two-sided critical values from the standard t table. *)
+  List.iter
+    (fun (df, level, want) ->
+      Tutil.check_close ~eps:2e-3
+        (Printf.sprintf "t(df=%d, %.0f%%)" df (100.0 *. level))
+        want
+        (Stats.t_quantile ~df ~level))
+    [ (1, 0.95, 12.706); (2, 0.95, 4.303); (5, 0.95, 2.571);
+      (10, 0.95, 2.228); (30, 0.95, 2.042); (100, 0.95, 1.984);
+      (10, 0.99, 3.169); (10, 0.90, 1.812); (1000, 0.95, 1.962) ];
+  Alcotest.check_raises "df must be positive"
+    (Invalid_argument "Stats.t_quantile: df must be >= 1") (fun () ->
+      ignore (Stats.t_quantile ~df:0 ~level:0.95));
+  Alcotest.check_raises "level must be a probability"
+    (Invalid_argument "Stats.t_quantile: level must be in (0, 1)") (fun () ->
+      ignore (Stats.t_quantile ~df:3 ~level:1.0))
+
+let test_confidence_interval () =
+  (* [1..5]: mean 3, s^2 = 2.5, se = sqrt(0.5), t(4, 95%) = 2.776 ->
+     half-width 1.963. *)
+  let lo, hi = Stats.confidence_interval [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Tutil.check_close ~eps:1e-3 "ci lo" 1.037 lo;
+  Tutil.check_close ~eps:1e-3 "ci hi" 4.963 hi;
+  (* Zero-variance samples collapse to a point. *)
+  let lo, hi = Stats.confidence_interval [| 7.0; 7.0; 7.0 |] in
+  Tutil.check_float "degenerate lo" 7.0 lo;
+  Tutil.check_float "degenerate hi" 7.0 hi;
+  (* Wider at higher confidence. *)
+  let lo95, hi95 =
+    Stats.confidence_interval ~level:0.95 [| 1.0; 2.0; 3.0; 4.0 |]
+  in
+  let lo99, hi99 =
+    Stats.confidence_interval ~level:0.99 [| 1.0; 2.0; 3.0; 4.0 |]
+  in
+  Tutil.check_bool "99% wider" true (hi99 -. lo99 > hi95 -. lo95);
+  Alcotest.check_raises "needs two samples"
+    (Invalid_argument "Stats.confidence_interval: need >= 2 samples")
+    (fun () -> ignore (Stats.confidence_interval [| 1.0 |]))
+
 let test_sum_kahan () =
   (* A classic case where naive summation loses the small terms. *)
   let xs = Array.make 10_001 1e-10 in
@@ -107,6 +159,9 @@ let () =
         [ Tutil.quick "mean" test_mean;
           Tutil.quick "weighted mean" test_weighted_mean;
           Tutil.quick "variance/stddev" test_variance_stddev;
+          Tutil.quick "sample variance" test_sample_variance;
+          Tutil.quick "t quantile" test_t_quantile;
+          Tutil.quick "confidence interval" test_confidence_interval;
           Tutil.quick "geomean" test_geomean;
           Tutil.quick "median/percentile" test_median_percentile;
           Tutil.quick "error metrics" test_errors;
