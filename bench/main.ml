@@ -391,7 +391,7 @@ let write_kernels_json ~path ~mode rows =
     | Some (_, ns, _) when Float.is_finite ns && ns > 0.0 -> Some ns
     | _ -> None
   in
-  let oc = open_out path in
+  Cbsp_util.Io.with_out_file path @@ fun oc ->
   Printf.fprintf oc "{\n  \"schema\": \"cbsp-bench-kernels/1\",\n";
   Printf.fprintf oc "  \"mode\": %S,\n  \"kernels\": [" mode;
   List.iteri
@@ -431,8 +431,7 @@ let write_kernels_json ~path ~mode rows =
       Printf.fprintf oc "      \"speedup_vs_reference\": %s }"
         (json_opt_float speedup_vs_reference))
     kernel_specs;
-  Printf.fprintf oc "\n  ]\n}\n";
-  close_out oc
+  Printf.fprintf oc "\n  ]\n}\n"
 
 let kernel_mode ~path ~smoke =
   let quota_s, limit = if smoke then (0.01, 5) else (0.5, 2000) in
@@ -485,11 +484,17 @@ let () =
     Fmt.epr "usage: bench [--json[=PATH]] [--smoke]@.";
     exit 2
   end;
-  match !json with
-  | Some path -> kernel_mode ~path ~smoke:!smoke
-  | None ->
-    if !smoke then begin
-      Fmt.epr "--smoke requires --json@.";
-      exit 2
-    end;
-    full_mode ()
+  (match !json with
+   | Some path -> kernel_mode ~path ~smoke:!smoke
+   | None ->
+     if !smoke then begin
+       Fmt.epr "--smoke requires --json@.";
+       exit 2
+     end;
+     full_mode ());
+  (* Like `cbsp run`, every bench invocation leaves a manifest behind:
+     bench has no timing sink, so its stage table is empty, but the
+     metrics snapshot records what the measured code actually did. *)
+  Cbsp_obs.Manifest.write ~argv:(Array.to_list Sys.argv) ~tool:"bench"
+    ~stages:[] ~failures:[] ~path:"bench-manifest.json" ();
+  Fmt.epr "wrote bench-manifest.json@."

@@ -65,6 +65,49 @@ let resolve_jobs jobs =
   end
   else jobs
 
+let trace_arg =
+  let doc =
+    "Record every obs span as Chrome trace_event JSON at $(docv) (just \
+     --trace writes trace.json); load it in chrome://tracing or Perfetto \
+     to see the run as a flame chart, one row per worker domain."
+  in
+  Arg.(value & opt ~vopt:(Some "trace.json") (some string) None
+       & info [ "trace" ] ~docv:"PATH" ~doc)
+
+let manifest_arg =
+  let doc = "Where to write the cbsp-manifest/1 run manifest (JSON)." in
+  Arg.(value & opt string "cbsp-manifest.json"
+       & info [ "manifest" ] ~docv:"PATH" ~doc)
+
+(* Run [f] under the observability layer: enable the tracer when --trace
+   was given, and always finish by exporting the trace and writing the
+   run manifest — also when [f] raises, so a dead run leaves its stages,
+   failure records and error message behind.  [timings] is a thunk
+   because on failure it must read whatever the engine recorded so
+   far. *)
+let observed ~tool ~config ~trace ~manifest ~timings f =
+  if trace <> None then Cbsp_obs.Tracer.enable ();
+  let finish ?error () =
+    (match trace with
+     | Some path ->
+       Cbsp_obs.Tracer.export ~path;
+       Fmt.epr "wrote %d spans to %s@." (Cbsp_obs.Tracer.span_count ()) path
+     | None -> ());
+    let ts = timings () in
+    Cbsp_obs.Manifest.write ~version:"1.0.0" ~argv:(Array.to_list Sys.argv)
+      ~config ?error ~tool
+      ~stages:(Cbsp_engine.Timing.manifest_stages ts)
+      ~failures:(Cbsp_engine.Timing.manifest_failures ts)
+      ~path:manifest ();
+    Fmt.epr "wrote %s@." manifest
+  in
+  match f () with
+  | () -> finish ()
+  | exception e ->
+    finish ~error:(Printexc.to_string e) ();
+    Fmt.epr "error: %s@." (Printexc.to_string e);
+    exit 1
+
 let rep_arg =
   let doc =
     "Representative policy: 'centroid' (SimPoint default) or 'early[:TOL]' \
@@ -223,7 +266,19 @@ let print_metrics label (r : Pipeline.binary_result) =
     r.Pipeline.br_metrics
 
 let run_cmd =
-  let run name target scale seed max_k primary rep search metrics jobs timing =
+  let run name target scale seed max_k primary rep search metrics jobs timing
+      smoke trace manifest =
+    let name =
+      match (name, smoke) with
+      | Some n, _ -> n
+      | None, true -> "gcc"
+      | None, false ->
+        Fmt.epr "missing WORKLOAD (or pass --smoke for the CI preset)@.";
+        exit 2
+    in
+    let target, scale =
+      if smoke then (min target 20_000, min scale 4) else (target, scale)
+    in
     let entry = Registry.find name in
     let program = entry.Registry.build () in
     let input = input_of ~scale ~seed in
@@ -231,10 +286,19 @@ let run_cmd =
     let configs =
       Config.paper_four ~loop_splitting:entry.Registry.loop_splitting ()
     in
+    let jobs = resolve_jobs jobs in
     (* One engine for both pipelines: the four binaries compile once and
        are shared; jobs > 1 runs independent per-binary work in
        parallel. *)
-    let engine = Pipeline.create_engine ~jobs:(resolve_jobs jobs) () in
+    let engine = Pipeline.create_engine ~jobs () in
+    observed ~tool:"run"
+      ~config:
+        [ ("workload", name); ("target", string_of_int target);
+          ("scale", string_of_int scale); ("seed", string_of_int seed);
+          ("jobs", string_of_int jobs) ]
+      ~trace ~manifest
+      ~timings:(fun () -> Pipeline.timings engine)
+    @@ fun () ->
     let fli =
       Pipeline.run_fli ~sp_config ~engine program ~configs ~input ~target
     in
@@ -262,17 +326,23 @@ let run_cmd =
     end
   in
   let name_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
   in
   let metrics_arg =
     Arg.(value & flag & info [ "metrics" ] ~doc:"Also print cache-miss metrics.")
+  in
+  let smoke_arg =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Tiny CI preset: WORKLOAD defaults to gcc and target/scale \
+                   are clamped down.")
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run both SimPoint methods on one workload and compare them")
     Term.(const run $ name_arg $ target_arg $ scale_arg $ seed_arg $ max_k_arg
           $ primary_arg $ rep_arg $ search_arg $ metrics_arg $ jobs_arg
-          $ timing_arg)
+          $ timing_arg $ smoke_arg $ trace_arg $ manifest_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -377,7 +447,7 @@ let sample_cmd =
                    is given.")
   in
   let run workloads target scale seed max_k n seeds level json smoke jobs
-      timing =
+      timing trace manifest =
     if n < 2 then begin
       Fmt.epr "bad --n %d (need >= 2)@." n;
       exit 2
@@ -411,6 +481,20 @@ let sample_cmd =
       | None -> None
     in
     let seed_list = List.init seeds (fun i -> 2007 + i) in
+    (* The suite builds one engine per workload internally, so the
+       manifest's stage table is collected from the result; a run that
+       dies mid-suite still gets a manifest (with whatever the tracer
+       saw) via [observed]'s failure path. *)
+    let timings = ref [] in
+    observed ~tool:"sample"
+      ~config:
+        [ ("workloads", String.concat "," names);
+          ("target", string_of_int target); ("scale", string_of_int scale);
+          ("seed", string_of_int seed); ("n", string_of_int n);
+          ("jobs", string_of_int (resolve_jobs jobs)) ]
+      ~trace ~manifest
+      ~timings:(fun () -> !timings)
+    @@ fun () ->
     let t =
       Sampling_report.run_suite ~names ~target ~input:(input_of ~scale ~seed)
         ~sp_config:(sp_config_of ~max_k ()) ~jobs:(resolve_jobs jobs) ~level
@@ -418,13 +502,14 @@ let sample_cmd =
         ~progress:(fun n -> Fmt.epr "sampling %s...@." n)
         ~n ()
     in
+    timings :=
+      List.concat_map
+        (fun ws -> ws.Sampling_report.ws_timings)
+        t.Sampling_report.sr_workloads;
     Sampling_report.render t ppf;
     if timing then begin
       Fmt.pr "Per-stage timing:@.";
-      Cbsp_engine.Timing.pp_report ppf
-        (List.concat_map
-           (fun ws -> ws.Sampling_report.ws_timings)
-           t.Sampling_report.sr_workloads);
+      Cbsp_engine.Timing.pp_report ppf !timings;
       Fmt.pr "@."
     end;
     match json with
@@ -440,7 +525,7 @@ let sample_cmd =
     Term.(
       const run $ workloads_arg $ target_arg $ scale_arg $ seed_arg $ max_k_arg
       $ n_arg $ seeds_arg $ level_arg $ json_arg $ smoke_arg $ jobs_arg
-      $ timing_arg)
+      $ timing_arg $ trace_arg $ manifest_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ablation                                                            *)

@@ -15,6 +15,7 @@ module Stage = Cbsp_engine.Stage
 module Rng = Cbsp_util.Rng
 module Sampler = Cbsp_sampling.Sampler
 module Strata = Cbsp_sampling.Strata
+module Tracer = Cbsp_obs.Tracer
 
 type truth = { t_insts : int; t_cycles : float; t_cpi : float }
 
@@ -251,6 +252,9 @@ let job_label (program : Cbsp_source.Ast.program) config ~kind =
 let run_fli ?(sp_config = Simpoint.default_config) ?cache_config ?engine program
     ~configs ~input ~target =
   if configs = [] then invalid_arg "Pipeline.run_fli: no configs";
+  Tracer.with_span ~name:"run_fli" ~cat:"pipeline"
+    ~attrs:[ ("program", program.Cbsp_source.Ast.prog_name) ]
+  @@ fun () ->
   let eng = match engine with Some e -> e | None -> create_engine () in
   (* One job per configuration: compile (memoized), one full execution
      collecting fixed-length intervals, per-binary clustering, summary.
@@ -294,8 +298,11 @@ let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
   let n = List.length configs in
   if n = 0 then invalid_arg "Pipeline.run_vli: no configs";
   if primary < 0 || primary >= n then invalid_arg "Pipeline.run_vli: bad primary";
-  let eng = match engine with Some e -> e | None -> create_engine () in
   let prog_name = program.Cbsp_source.Ast.prog_name in
+  Tracer.with_span ~name:"run_vli" ~cat:"pipeline"
+    ~attrs:[ ("program", prog_name) ]
+  @@ fun () ->
+  let eng = match engine with Some e -> e | None -> create_engine () in
   let binaries =
     Scheduler.parallel_map ~jobs:eng.eng_jobs (compile eng program) configs
   in
@@ -429,6 +436,9 @@ let run_sampling ?(sp_config = Simpoint.default_config) ?cache_config ?engine
   if configs = [] then invalid_arg "Pipeline.run_sampling: no configs";
   if n < 2 then invalid_arg "Pipeline.run_sampling: sample size must be >= 2";
   if seeds = [] then invalid_arg "Pipeline.run_sampling: no seeds";
+  Tracer.with_span ~name:"run_sampling" ~cat:"pipeline"
+    ~attrs:[ ("program", program.Cbsp_source.Ast.prog_name) ]
+  @@ fun () ->
   let eng = match engine with Some e -> e | None -> create_engine () in
   let binaries =
     Scheduler.parallel_map ~jobs:eng.eng_jobs

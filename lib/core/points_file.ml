@@ -125,15 +125,7 @@ let of_string text =
     { Pipeline.pt_target; pt_boundaries; pt_phase_of; pt_reps } )
 
 let save ~path ~program ~input points =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ~program ~input points))
+  Cbsp_util.Io.with_out_file path (fun oc ->
+      output_string oc (to_string ~program ~input points))
 
-let load ~path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      of_string (really_input_string ic n))
+let load ~path = of_string (Cbsp_util.Io.read_file path)

@@ -1,3 +1,6 @@
+module Tracer = Cbsp_obs.Tracer
+module Metrics = Cbsp_obs.Metrics
+
 let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
 
 (* Worker domains mark themselves in domain-local storage; a nested
@@ -7,6 +10,14 @@ let inside_worker = Domain.DLS.new_key (fun () -> false)
 
 let currently_inside_worker () = Domain.DLS.get inside_worker
 
+(* Scheduler observability: how many tasks the work-stealing drain
+   actually processed, how many worker domains were spawned, and how
+   many of them joined without having drained a single task (idle joins
+   — a sign [jobs] exceeds the useful width for the task list). *)
+let m_tasks () = Metrics.counter "scheduler.tasks"
+let m_workers () = Metrics.counter "scheduler.workers"
+let m_idle_joins () = Metrics.counter "scheduler.idle_joins"
+
 let parallel_map ~jobs f xs =
   let n = List.length xs in
   let jobs = min (max jobs 1) n in
@@ -15,13 +26,20 @@ let parallel_map ~jobs f xs =
     let input = Array.of_list xs in
     let results = Array.make n None in
     let next = Atomic.make 0 in
+    let tasks = m_tasks () and idle_joins = m_idle_joins () in
+    Metrics.incr ~by:jobs (m_workers ());
     let worker () =
       Domain.DLS.set inside_worker true;
+      let drained = ref 0 in
       let rec drain () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          incr drained;
           let r =
-            match f input.(i) with
+            match
+              Tracer.with_span ~name:(Printf.sprintf "task-%d" i)
+                ~cat:"scheduler" (fun () -> f input.(i))
+            with
             | v -> Ok v
             | exception e -> Error (e, Printexc.get_raw_backtrace ())
           in
@@ -29,7 +47,9 @@ let parallel_map ~jobs f xs =
           drain ()
         end
       in
-      drain ()
+      Tracer.with_span ~name:"worker" ~cat:"scheduler" drain;
+      Metrics.incr ~by:!drained tasks;
+      if !drained = 0 then Metrics.incr idle_joins
     in
     let domains = List.init jobs (fun _ -> Domain.spawn worker) in
     List.iter Domain.join domains;

@@ -1,7 +1,15 @@
 (* Each key owns a cell; the table mutex only guards cell creation, so a
    slow computation for one key never blocks lookups of another.  The
    cell's own mutex/condition implements "first caller computes, the
-   rest wait". *)
+   rest wait".
+
+   Counters live in the obs metrics registry instead of bespoke atomics:
+   every store instance gets its own [store.computes]/[store.hits]
+   series (labeled by store name plus a unique instance id, so several
+   engines in one process never share counts) plus a [store.wait_seconds]
+   histogram of how long waiters blocked on in-flight computations. *)
+
+module Metrics = Cbsp_obs.Metrics
 
 type 'v outcome = Value of 'v | Raised of exn
 
@@ -15,13 +23,22 @@ type 'v t = {
   s_name : string;
   s_mutex : Mutex.t;
   s_table : (string, 'v cell) Hashtbl.t;
-  s_computes : int Atomic.t;
-  s_hits : int Atomic.t;
+  s_computes : Metrics.counter;
+  s_hits : Metrics.counter;
+  s_wait : Metrics.histogram;
 }
 
+let next_id = Atomic.make 0
+
 let create ?(name = "store") () =
+  let labels =
+    [ ("store", name);
+      ("instance", string_of_int (Atomic.fetch_and_add next_id 1)) ]
+  in
   { s_name = name; s_mutex = Mutex.create (); s_table = Hashtbl.create 64;
-    s_computes = Atomic.make 0; s_hits = Atomic.make 0 }
+    s_computes = Metrics.counter ~labels "store.computes";
+    s_hits = Metrics.counter ~labels "store.hits";
+    s_wait = Metrics.histogram ~labels "store.wait_seconds" }
 
 let digest v = Digest.string (Marshal.to_string v [])
 
@@ -39,7 +56,7 @@ let find_or_compute t ~key f =
           (c, true))
   in
   if owner then begin
-    Atomic.incr t.s_computes;
+    Metrics.incr t.s_computes;
     let outcome = match f () with v -> Value v | exception e -> Raised e in
     Mutex.protect cell.c_mutex (fun () ->
         cell.c_outcome <- Some outcome;
@@ -47,7 +64,8 @@ let find_or_compute t ~key f =
     match outcome with Value v -> v | Raised e -> raise e
   end
   else begin
-    Atomic.incr t.s_hits;
+    Metrics.incr t.s_hits;
+    let t0 = Unix.gettimeofday () in
     let outcome =
       Mutex.protect cell.c_mutex (fun () ->
           while cell.c_outcome = None do
@@ -55,18 +73,28 @@ let find_or_compute t ~key f =
           done;
           Option.get cell.c_outcome)
     in
+    Metrics.observe t.s_wait (Unix.gettimeofday () -. t0);
     match outcome with Value v -> v | Raised e -> raise e
   end
 
+(* [c_outcome] is written by the owner under the CELL mutex, so reading
+   it here must take the cell mutex too — holding only the table mutex
+   (as this function once did) is a data race under domains: the table
+   mutex orders nothing against the owner's write. *)
 let mem t ~key =
-  Mutex.protect t.s_mutex (fun () ->
-      match Hashtbl.find_opt t.s_table key with
-      | Some { c_outcome = Some (Value _); _ } -> true
-      | Some _ | None -> false)
+  match
+    Mutex.protect t.s_mutex (fun () -> Hashtbl.find_opt t.s_table key)
+  with
+  | None -> false
+  | Some cell ->
+    Mutex.protect cell.c_mutex (fun () ->
+        match cell.c_outcome with
+        | Some (Value _) -> true
+        | Some (Raised _) | None -> false)
 
-let computes t = Atomic.get t.s_computes
+let computes t = Metrics.value t.s_computes
 
-let hits t = Atomic.get t.s_hits
+let hits t = Metrics.value t.s_hits
 
 let pp_stats ppf t =
   Format.fprintf ppf "%s: %d computed, %d hits" t.s_name (computes t) (hits t)

@@ -1,9 +1,14 @@
+module Tracer = Cbsp_obs.Tracer
+module Metrics = Cbsp_obs.Metrics
+module Manifest = Cbsp_obs.Manifest
+
 type record = {
   tr_stage : Stage.t;
   tr_label : string;
   tr_seconds : float;
   tr_in_size : int;
   tr_out_size : int;
+  tr_ok : bool;
 }
 
 type sink = { mutex : Mutex.t; mutable records : record list }
@@ -13,21 +18,34 @@ let create () = { mutex = Mutex.create (); records = [] }
 let record t r =
   Mutex.protect t.mutex (fun () -> t.records <- r :: t.records)
 
+(* One pair of timestamps feeds the record, the obs span, and the stage
+   metrics, so the timing report and a --trace flame chart can never
+   disagree about a job. *)
 let time t ~stage ~label ?(in_size = 0) ?out_size f =
+  let stage_name = Stage.name stage in
   let t0 = Unix.gettimeofday () in
-  let finish out_size =
+  let finish ~ok out_size =
+    let t1 = Unix.gettimeofday () in
     record t
-      { tr_stage = stage; tr_label = label;
-        tr_seconds = Unix.gettimeofday () -. t0; tr_in_size = in_size;
-        tr_out_size = out_size }
+      { tr_stage = stage; tr_label = label; tr_seconds = t1 -. t0;
+        tr_in_size = in_size; tr_out_size = out_size; tr_ok = ok };
+    Tracer.emit ~name:label ~cat:stage_name ~ok ~t0 ~t1 ();
+    Metrics.incr (Metrics.counter ~labels:[ ("stage", stage_name) ] "stage.runs");
+    if not ok then
+      Metrics.incr
+        (Metrics.counter ~labels:[ ("stage", stage_name) ] "stage.failures");
+    Metrics.observe
+      (Metrics.histogram ~labels:[ ("stage", stage_name) ] "stage.seconds")
+      (t1 -. t0)
   in
   match f () with
   | v ->
-    finish (match out_size with None -> 0 | Some m -> m v);
+    finish ~ok:true (match out_size with None -> 0 | Some m -> m v);
     v
   | exception e ->
-    finish 0;
-    raise e
+    let bt = Printexc.get_raw_backtrace () in
+    finish ~ok:false 0;
+    Printexc.raise_with_backtrace e bt
 
 let records t =
   Mutex.protect t.mutex (fun () -> t.records)
@@ -39,6 +57,7 @@ let records t =
 type stage_summary = {
   ss_stage : Stage.t;
   ss_jobs : int;
+  ss_failed : int;
   ss_seconds : float;
   ss_max_seconds : float;
   ss_in_size : int;
@@ -56,25 +75,46 @@ let summarize rs =
              (fun acc r ->
                { acc with
                  ss_jobs = acc.ss_jobs + 1;
+                 ss_failed = (acc.ss_failed + if r.tr_ok then 0 else 1);
                  ss_seconds = acc.ss_seconds +. r.tr_seconds;
                  ss_max_seconds = Float.max acc.ss_max_seconds r.tr_seconds;
                  ss_in_size = acc.ss_in_size + r.tr_in_size;
                  ss_out_size = acc.ss_out_size + r.tr_out_size })
-             { ss_stage = stage; ss_jobs = 0; ss_seconds = 0.0;
+             { ss_stage = stage; ss_jobs = 0; ss_failed = 0; ss_seconds = 0.0;
                ss_max_seconds = 0.0; ss_in_size = 0; ss_out_size = 0 }
              stage_rs))
     Stage.all
 
+let failures rs = List.filter (fun r -> not r.tr_ok) rs
+
 let pp_report ppf rs =
   let summaries = summarize rs in
-  Format.fprintf ppf "  %-20s %6s %12s %12s %12s %12s@." "stage" "jobs"
-    "total" "max" "in" "out";
+  Format.fprintf ppf "  %-20s %6s %6s %12s %12s %12s %12s@." "stage" "jobs"
+    "failed" "total" "max" "in" "out";
   List.iter
     (fun s ->
-      Format.fprintf ppf "  %-20s %6d %10.3f s %10.3f s %12d %12d@."
-        (Stage.name s.ss_stage) s.ss_jobs s.ss_seconds s.ss_max_seconds
-        s.ss_in_size s.ss_out_size)
+      Format.fprintf ppf "  %-20s %6d %6d %10.3f s %10.3f s %12d %12d@."
+        (Stage.name s.ss_stage) s.ss_jobs s.ss_failed s.ss_seconds
+        s.ss_max_seconds s.ss_in_size s.ss_out_size)
     summaries;
   let jobs = List.fold_left (fun a s -> a + s.ss_jobs) 0 summaries in
+  let failed = List.fold_left (fun a s -> a + s.ss_failed) 0 summaries in
   let total = List.fold_left (fun a s -> a +. s.ss_seconds) 0.0 summaries in
-  Format.fprintf ppf "  %-20s %6d %10.3f s@." "total" jobs total
+  Format.fprintf ppf "  %-20s %6d %6d %10.3f s@." "total" jobs failed total
+
+(* --- manifest bridge ---------------------------------------------------- *)
+
+let manifest_stages rs =
+  List.map
+    (fun s ->
+      { Manifest.m_stage = Stage.name s.ss_stage; m_jobs = s.ss_jobs;
+        m_failed = s.ss_failed; m_seconds = s.ss_seconds;
+        m_max_seconds = s.ss_max_seconds; m_in_size = s.ss_in_size;
+        m_out_size = s.ss_out_size })
+    (summarize rs)
+
+let manifest_failures rs =
+  List.map
+    (fun r ->
+      { Manifest.f_stage = Stage.name r.tr_stage; f_label = r.tr_label })
+    (failures rs)

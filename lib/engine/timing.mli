@@ -1,8 +1,15 @@
 (** Per-job wall-clock accounting.  Every job the engine runs records a
     {!record}: which stage, which (workload, binary) label, how long it
-    took, and how big its input and output were (in stage-appropriate
-    units — blocks for compiles, intervals for collection, and so on).
-    A sink is safe to record into from several scheduler domains. *)
+    took, whether it succeeded, and how big its input and output were (in
+    stage-appropriate units — blocks for compiles, intervals for
+    collection, and so on).  A sink is safe to record into from several
+    scheduler domains.
+
+    [time] is also the engine's span source: the same timestamp pair
+    that builds the record is emitted as a {!Cbsp_obs.Tracer} span
+    (category = stage name) and bumps the [stage.*] metrics, so the
+    timing report, the manifest and a --trace flame chart all describe
+    the identical set of jobs. *)
 
 type record = {
   tr_stage : Stage.t;
@@ -10,6 +17,7 @@ type record = {
   tr_seconds : float;  (** Wall-clock. *)
   tr_in_size : int;    (** Input size in stage units; 0 when unmeasured. *)
   tr_out_size : int;   (** Output size in stage units; 0 when unmeasured. *)
+  tr_ok : bool;        (** False when the job raised. *)
 }
 
 type sink
@@ -27,16 +35,22 @@ val time :
   (unit -> 'a) ->
   'a
 (** Run the thunk, record a {!record} around it, return its result.
-    [out_size] measures the produced value (default 0).  The record is
-    emitted even when the thunk raises (with [tr_out_size = 0]). *)
+    [out_size] measures the produced value (default 0).  A raising thunk
+    still records — with [tr_out_size = 0] and [tr_ok = false], so a
+    failed stage is never mistaken for a success that produced nothing —
+    and the exception is re-raised with its backtrace. *)
 
 val records : sink -> record list
 (** Everything recorded so far, sorted by (stage, label) — a canonical
     order, independent of scheduling. *)
 
+val failures : record list -> record list
+(** The records whose job raised, in the given order. *)
+
 type stage_summary = {
   ss_stage : Stage.t;
   ss_jobs : int;         (** Number of jobs recorded for this stage. *)
+  ss_failed : int;       (** How many of them raised. *)
   ss_seconds : float;    (** Summed wall-clock over those jobs. *)
   ss_max_seconds : float;
   ss_in_size : int;      (** Summed input sizes. *)
@@ -47,5 +61,11 @@ val summarize : record list -> stage_summary list
 (** One summary per stage present, in pipeline order. *)
 
 val pp_report : Format.formatter -> record list -> unit
-(** The CLI's per-stage timing report: one row per stage (jobs, total
-    and max wall-clock, total sizes) followed by a total row. *)
+(** The CLI's per-stage timing report: one row per stage (jobs, failed,
+    total and max wall-clock, total sizes) followed by a total row. *)
+
+val manifest_stages : record list -> Cbsp_obs.Manifest.stage list
+(** {!summarize} converted to manifest rows. *)
+
+val manifest_failures : record list -> Cbsp_obs.Manifest.failure list
+(** {!failures} converted to manifest failure records. *)

@@ -341,6 +341,22 @@ and f_exec_loop st (l : Binary.floop) =
     end
   done
 
+(* Executor totals feed the obs registry once per run (never per event:
+   the hot loops stay untouched, so the counters are free at the block
+   granularity the interpreter actually works at). *)
+let m_runs = lazy (Cbsp_obs.Metrics.counter "executor.runs")
+let m_insts = lazy (Cbsp_obs.Metrics.counter "executor.insts")
+let m_blocks = lazy (Cbsp_obs.Metrics.counter "executor.blocks")
+let m_accesses = lazy (Cbsp_obs.Metrics.counter "executor.accesses")
+let m_markers = lazy (Cbsp_obs.Metrics.counter "executor.markers")
+
+let observe_totals (t : totals) =
+  Cbsp_obs.Metrics.incr (Lazy.force m_runs);
+  Cbsp_obs.Metrics.incr ~by:t.insts (Lazy.force m_insts);
+  Cbsp_obs.Metrics.incr ~by:t.blocks (Lazy.force m_blocks);
+  Cbsp_obs.Metrics.incr ~by:t.accesses (Lazy.force m_accesses);
+  Cbsp_obs.Metrics.incr ~by:t.markers (Lazy.force m_markers)
+
 let run binary input obs =
   let flat = binary.Binary.flat in
   let layout = binary.Binary.layout in
@@ -363,5 +379,9 @@ let run binary input obs =
   in
   f_emit_marker st flat.Binary.fp_main_marker;
   f_exec_stmts st st.f_bodies.(flat.Binary.fp_main);
-  { insts = st.f_insts; blocks = st.f_blocks; accesses = st.f_accesses;
-    markers = st.f_markers }
+  let totals =
+    { insts = st.f_insts; blocks = st.f_blocks; accesses = st.f_accesses;
+      markers = st.f_markers }
+  in
+  observe_totals totals;
+  totals

@@ -1,0 +1,105 @@
+(* cbsp-manifest/1: the machine-readable record every top-level run
+   leaves behind — what was asked for (tool, argv, config pairs), what
+   ran (per-stage timing with failure counts), what broke (failure
+   records, the fatal error if any), and the full metrics snapshot. *)
+
+type stage = {
+  m_stage : string;
+  m_jobs : int;
+  m_failed : int;
+  m_seconds : float;
+  m_max_seconds : float;
+  m_in_size : int;
+  m_out_size : int;
+}
+
+type failure = { f_stage : string; f_label : string }
+
+let schema = "cbsp-manifest/1"
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let sample_json (s : Metrics.sample) =
+  match s with
+  | Metrics.Counter_sample v ->
+    Printf.sprintf "\"kind\": \"counter\", \"value\": %d" v
+  | Metrics.Gauge_sample v ->
+    Printf.sprintf "\"kind\": \"gauge\", \"value\": %d" v
+  | Metrics.Histogram_sample h ->
+    Printf.sprintf
+      "\"kind\": \"histogram\", \"count\": %d, \"sum\": %s, \"min\": %s, \
+       \"max\": %s"
+      h.Metrics.hs_count (json_float h.Metrics.hs_sum)
+      (json_float h.Metrics.hs_min) (json_float h.Metrics.hs_max)
+
+let write ?(version = "1.0.0") ?(argv = []) ?(config = []) ?error ~tool
+    ~stages ~failures ~path () =
+  Cbsp_util.Io.with_out_file path (fun oc ->
+      let pf fmt = Printf.fprintf oc fmt in
+      pf "{\n  \"schema\": %s,\n" (json_string schema);
+      pf "  \"tool\": %s,\n  \"version\": %s,\n" (json_string tool)
+        (json_string version);
+      pf "  \"created_unix\": %.3f,\n" (Unix.gettimeofday ());
+      pf "  \"argv\": [%s],\n"
+        (String.concat ", " (List.map json_string argv));
+      pf "  \"config\": {%s},\n"
+        (String.concat ", "
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "%s: %s" (json_string k) (json_string v))
+              config));
+      pf "  \"error\": %s,\n"
+        (match error with None -> "null" | Some e -> json_string e);
+      pf "  \"stages\": [";
+      List.iteri
+        (fun i (s : stage) ->
+          pf
+            "%s\n    { \"stage\": %s, \"jobs\": %d, \"failed\": %d, \
+             \"seconds\": %s, \"max_seconds\": %s, \"in\": %d, \"out\": %d }"
+            (if i = 0 then "" else ",")
+            (json_string s.m_stage) s.m_jobs s.m_failed
+            (json_float s.m_seconds) (json_float s.m_max_seconds) s.m_in_size
+            s.m_out_size)
+        stages;
+      pf "\n  ],\n";
+      pf "  \"failures\": [";
+      List.iteri
+        (fun i (f : failure) ->
+          pf "%s\n    { \"stage\": %s, \"label\": %s }"
+            (if i = 0 then "" else ",")
+            (json_string f.f_stage) (json_string f.f_label))
+        failures;
+      pf "\n  ],\n";
+      pf "  \"metrics\": [";
+      List.iteri
+        (fun i (it : Metrics.item) ->
+          pf "%s\n    { \"name\": %s, \"labels\": {%s}, %s }"
+            (if i = 0 then "" else ",")
+            (json_string it.Metrics.it_name)
+            (String.concat ", "
+               (List.map
+                  (fun (k, v) ->
+                    Printf.sprintf "%s: %s" (json_string k) (json_string v))
+                  it.Metrics.it_labels))
+            (sample_json it.Metrics.it_sample))
+        (Metrics.snapshot ());
+      pf "\n  ]\n}\n")

@@ -1,0 +1,35 @@
+(** The [cbsp-manifest/1] run manifest: one JSON document per top-level
+    run recording the request (tool, argv, config), per-stage timing with
+    failure counts, failure records, the fatal error if the run died, and
+    a full {!Metrics.snapshot}. *)
+
+type stage = {
+  m_stage : string;
+  m_jobs : int;          (** Jobs recorded for this stage. *)
+  m_failed : int;        (** How many of them raised. *)
+  m_seconds : float;     (** Summed wall-clock. *)
+  m_max_seconds : float;
+  m_in_size : int;
+  m_out_size : int;
+}
+
+type failure = { f_stage : string; f_label : string }
+
+val schema : string
+(** ["cbsp-manifest/1"]. *)
+
+val write :
+  ?version:string ->
+  ?argv:string list ->
+  ?config:(string * string) list ->
+  ?error:string ->
+  tool:string ->
+  stages:stage list ->
+  failures:failure list ->
+  path:string ->
+  unit ->
+  unit
+(** Write the manifest.  [error] is the fatal error message when the run
+    died before finishing (the stage list then covers what did run);
+    [config] is free-form key/value pairs (workload, seed, scale, ...).
+    The metrics snapshot is taken at call time. *)

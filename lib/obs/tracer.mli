@@ -1,0 +1,51 @@
+(** Nested, domain-safe span tracer with Chrome [trace_event] export.
+
+    Spans are recorded per domain (domain-local buffers) and exported as
+    a JSON trace loadable in chrome://tracing or Perfetto: one row per
+    worker domain, one slice per span, with balanced, properly nested
+    B/E events.
+
+    Recording is disabled by default; {!emit} and {!with_span} then cost
+    one atomic load, so permanently instrumented code paths stay free
+    until the user passes [--trace]. *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val emit :
+  ?attrs:(string * string) list ->
+  ?ok:bool ->
+  name:string ->
+  cat:string ->
+  t0:float ->
+  t1:float ->
+  unit ->
+  unit
+(** Record one completed span with explicit [Unix.gettimeofday]
+    timestamps, tagged with the calling domain.  Use this when the
+    caller already measures wall-clock (the timing sink does): trace and
+    report then share one pair of timestamps.  No-op when disabled. *)
+
+val with_span :
+  ?attrs:(string * string) list ->
+  name:string ->
+  cat:string ->
+  (unit -> 'a) ->
+  'a
+(** Run the thunk inside a span.  A raising thunk still completes its
+    span (with [ok=false] in the args) and re-raises with its backtrace.
+    When disabled, exactly [f ()]. *)
+
+val export : path:string -> unit
+(** Write every recorded span as Chrome trace_event JSON
+    ([{"traceEvents": [...]}], timestamps in microseconds relative to
+    the earliest span). *)
+
+val span_count : unit -> int
+(** Number of completed spans currently recorded (all domains). *)
+
+val reset : unit -> unit
+(** Drop all recorded spans. *)

@@ -68,15 +68,8 @@ let of_string ?n_blocks text =
   |> Array.of_list
 
 let save ~path intervals =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string intervals))
+  Cbsp_util.Io.with_out_file path (fun oc ->
+      output_string oc (to_string intervals))
 
 let load ?n_blocks ~path () =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      of_string ?n_blocks (really_input_string ic n))
+  of_string ?n_blocks (Cbsp_util.Io.read_file path)

@@ -68,10 +68,8 @@ let to_string t ~what =
   Buffer.contents buf
 
 let save t ~what ~path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string t ~what))
+  Cbsp_util.Io.with_out_file path (fun oc ->
+      output_string oc (to_string t ~what))
 
 let save_all t ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;

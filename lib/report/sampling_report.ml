@@ -246,7 +246,9 @@ let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
 let write_json t ~path ~mode =
-  let oc = open_out path in
+  (* Exception-safe: a failure mid-document must still close (and flush
+     what it can of) the channel rather than leak the descriptor. *)
+  Cbsp_util.Io.with_out_file path @@ fun oc ->
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n  \"schema\": \"cbsp-sampling/1\",\n";
   pf "  \"mode\": %S,\n" mode;
@@ -318,5 +320,4 @@ let write_json t ~path ~mode =
         ws.ws_result.Pipeline.smp_binaries;
       pf "\n      ] }")
     t.sr_workloads;
-  pf "\n  ]\n}\n";
-  close_out oc
+  pf "\n  ]\n}\n"

@@ -1,6 +1,15 @@
 module Rng = Cbsp_util.Rng
 module Stats = Cbsp_util.Stats
 module Scheduler = Cbsp_engine.Scheduler
+module Metrics = Cbsp_obs.Metrics
+
+(* Clustering observability: restarts executed, Lloyd iterations, and
+   exact distance evaluations the pruned assignment actually paid for
+   (the whole point of the Hamerly bounds is to keep the last one far
+   below n*k per iteration). *)
+let m_runs = lazy (Metrics.counter "kmeans.runs")
+let m_iterations = lazy (Metrics.counter "kmeans.iterations")
+let m_distance_evals = lazy (Metrics.counter "kmeans.distance_evals")
 
 type result = {
   k : int;
@@ -275,6 +284,8 @@ let run_once_pruned ~jobs rng ~max_iters ~k ~weights ~points =
         (chunk_fn ~centroids ~points ~assignments ~upper ~lower)
         chunks
     in
+    let evals = List.fold_left (fun acc (_, e) -> acc + e) 0 flags in
+    Metrics.incr ~by:evals (Lazy.force m_distance_evals);
     List.exists (fun (changed, _) -> changed) flags
   in
   let old = Array.init k (fun _ -> [||]) in
@@ -322,6 +333,8 @@ let run_once_pruned ~jobs rng ~max_iters ~k ~weights ~points =
     if !first then assign assign_chunk_full else assign assign_chunk_pruned
   in
   let distortion = total_distortion ~jobs ~weights ~points ~assignments ~centroids in
+  Metrics.incr (Lazy.force m_runs);
+  Metrics.incr ~by:!iterations (Lazy.force m_iterations);
   { k; assignments; centroids; distortion; iterations = !iterations }
 
 (* --- drivers ------------------------------------------------------------ *)

@@ -1,0 +1,15 @@
+(* Exception-safe file channel helpers.  Every writer in the repo goes
+   through [with_out_file] so a raising body can never leak a channel or
+   leave buffered output unflushed behind an exception. *)
+
+let with_out_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_in_file path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let read_file path =
+  with_in_file path (fun ic ->
+      really_input_string ic (in_channel_length ic))

@@ -1,0 +1,10 @@
+(** Exception-safe file channel helpers. *)
+
+val with_out_file : string -> (out_channel -> 'a) -> 'a
+(** [with_out_file path f] opens [path] for writing, runs [f], and closes
+    the channel even when [f] raises ([Fun.protect] semantics). *)
+
+val with_in_file : string -> (in_channel -> 'a) -> 'a
+
+val read_file : string -> string
+(** The whole file as a string. *)

@@ -53,6 +53,50 @@ let test_parallel_map_exception () =
 let test_recommended_jobs () =
   Tutil.check_bool "at least one" true (Scheduler.recommended_jobs () >= 1)
 
+let test_parallel_map_exception_counters () =
+  (* Even when a task raises, every task still runs (the raiser is
+     captured, not rethrown inside the worker), every worker joins, and
+     the obs counters account for all of it. *)
+  let tasks = Cbsp_obs.Metrics.counter "scheduler.tasks" in
+  let workers = Cbsp_obs.Metrics.counter "scheduler.workers" in
+  let tasks0 = Cbsp_obs.Metrics.value tasks in
+  let workers0 = Cbsp_obs.Metrics.value workers in
+  let ran = Atomic.make 0 in
+  Tutil.check_bool "exception propagates" true
+    (match
+       Scheduler.parallel_map ~jobs:4
+         (fun i ->
+           Atomic.incr ran;
+           if i = 2 then failwith "boom" else i)
+         (List.init 9 Fun.id)
+     with
+     | (_ : int list) -> false
+     | exception Failure m -> m = "boom");
+  Tutil.check_int "every task still ran" 9 (Atomic.get ran);
+  Tutil.check_int "scheduler.tasks counted them all" 9
+    (Cbsp_obs.Metrics.value tasks - tasks0);
+  Tutil.check_int "scheduler.workers counted the spawns" 4
+    (Cbsp_obs.Metrics.value workers - workers0);
+  (* No lost domains: the scheduler is immediately usable again. *)
+  Tutil.check_bool "scheduler still works" true
+    (Scheduler.parallel_map ~jobs:4 (fun x -> x + 1) [ 1; 2; 3 ] = [ 2; 3; 4 ])
+
+let test_parallel_map_exception_backtrace () =
+  (* The first raiser's backtrace travels across the domain join. *)
+  Printexc.record_backtrace true;
+  let deep_raise () = failwith "deep" in
+  (match
+     Scheduler.parallel_map ~jobs:2
+       (fun i -> if i = 0 then deep_raise () else ())
+       [ 0; 1 ]
+   with
+  | (_ : unit list) -> Alcotest.fail "expected Failure"
+  | exception Failure _ ->
+    (* raise_with_backtrace preserved a backtrace (possibly empty under
+       flambda, but get_backtrace must not itself fail). *)
+    let (_ : string) = Printexc.get_backtrace () in
+    ())
+
 (* ------------------------------------------------------------------ *)
 (* Artifact store                                                      *)
 
@@ -110,6 +154,40 @@ let test_store_caches_exceptions () =
   Tutil.check_int "failing computation ran once" 1 !calls;
   Tutil.check_bool "failed key is not mem" false (Store.mem store ~key:"bad")
 
+let test_store_mem_during_inflight_compute () =
+  (* The satellite-2 data race: [mem] must read [c_outcome] under the
+     cell mutex while the owner writes it.  One worker computes slowly;
+     the others hammer [mem] on the same key the whole time.  [mem] may
+     answer false (in-flight) or true (done), never crash or tear. *)
+  let store = Store.create ~name:"mem-race" () in
+  let results =
+    Scheduler.parallel_map ~jobs:8
+      (fun i ->
+        if i = 0 then begin
+          let v =
+            Store.find_or_compute store ~key:"k" (fun () ->
+                Unix.sleepf 0.02;
+                42)
+          in
+          (`Owner, v)
+        end
+        else begin
+          let seen_true = ref 0 in
+          for _ = 1 to 5_000 do
+            if Store.mem store ~key:"k" then incr seen_true
+          done;
+          (`Reader, !seen_true)
+        end)
+      (List.init 8 Fun.id)
+  in
+  List.iter
+    (function
+      | `Owner, v -> Tutil.check_int "owner computed" 42 v
+      | `Reader, seen -> Tutil.check_bool "reader stayed sane" true (seen >= 0))
+    results;
+  Tutil.check_bool "mem true once complete" true (Store.mem store ~key:"k");
+  Tutil.check_int "still exactly one compute" 1 (Store.computes store)
+
 let test_store_digest_content_keyed () =
   Tutil.check_bool "equal content, equal key" true
     (Store.digest (1, "a", [ 2; 3 ]) = Store.digest (1, "a", [ 2; 3 ]));
@@ -144,6 +222,53 @@ let test_timing_records () =
      | (_ : int) -> false
      | exception Failure _ -> true);
   Tutil.check_int "two records now" 2 (List.length (Timing.records sink))
+
+let test_timing_failure_status () =
+  (* The satellite-1 bugfix: a raising stage used to record exactly like
+     a success with tr_out_size = 0.  It must now carry tr_ok = false,
+     count as failed in summaries and surface in the manifest rows. *)
+  let sink = Timing.create () in
+  let ok =
+    Timing.time sink ~stage:Stage.Compile ~label:"good" ~in_size:1
+      ~out_size:(fun _ -> 1)
+      (fun () -> ())
+  in
+  ignore ok;
+  Tutil.check_bool "failure re-raised" true
+    (match
+       Timing.time sink ~stage:Stage.Compile ~label:"bad" (fun () ->
+           failwith "stage died")
+     with
+     | (_ : int) -> false
+     | exception Failure m -> m = "stage died");
+  let records = Timing.records sink in
+  let bad = List.find (fun r -> r.Timing.tr_label = "bad") records in
+  let good = List.find (fun r -> r.Timing.tr_label = "good") records in
+  Tutil.check_bool "failed record marked" false bad.Timing.tr_ok;
+  Tutil.check_bool "ok record marked" true good.Timing.tr_ok;
+  (match Timing.failures records with
+   | [ r ] -> Alcotest.(check string) "failures picks it out" "bad" r.Timing.tr_label
+   | rs -> Alcotest.failf "expected 1 failure, got %d" (List.length rs));
+  (match Timing.summarize records with
+   | [ s ] ->
+     Tutil.check_int "two jobs" 2 s.Timing.ss_jobs;
+     Tutil.check_int "one failed" 1 s.Timing.ss_failed
+   | _ -> Alcotest.fail "expected one stage summary");
+  let report = Format.asprintf "%a" Timing.pp_report records in
+  Tutil.check_bool "report shows the failure" true
+    (let nh = String.length report and needle = "failed" in
+     let nn = String.length needle in
+     let rec at i = i + nn <= nh && (String.sub report i nn = needle || at (i + 1)) in
+     at 0);
+  (match Timing.manifest_stages records with
+   | [ m ] ->
+     Tutil.check_int "manifest stage failed count" 1 m.Cbsp_obs.Manifest.m_failed
+   | _ -> Alcotest.fail "expected one manifest stage");
+  match Timing.manifest_failures records with
+  | [ f ] ->
+    Alcotest.(check string) "manifest failure label" "bad"
+      f.Cbsp_obs.Manifest.f_label
+  | fs -> Alcotest.failf "expected 1 manifest failure, got %d" (List.length fs)
 
 let test_timing_summary () =
   let sink = Timing.create () in
@@ -302,14 +427,18 @@ let () =
         [ Tutil.quick "order preserved" test_parallel_map_order;
           Tutil.quick "nested degrades" test_parallel_map_nested;
           Tutil.quick "exception propagation" test_parallel_map_exception;
+          Tutil.quick "exception counters" test_parallel_map_exception_counters;
+          Tutil.quick "exception backtrace" test_parallel_map_exception_backtrace;
           Tutil.quick "recommended jobs" test_recommended_jobs ] );
       ( "store",
         [ Tutil.quick "memoizes" test_store_memoizes;
           Tutil.quick "exactly once in parallel" test_store_exactly_once_parallel;
           Tutil.quick "caches exceptions" test_store_caches_exceptions;
+          Tutil.quick "mem during in-flight compute" test_store_mem_during_inflight_compute;
           Tutil.quick "content keyed" test_store_digest_content_keyed ] );
       ( "timing",
         [ Tutil.quick "records jobs" test_timing_records;
+          Tutil.quick "failure status" test_timing_failure_status;
           Tutil.quick "summaries + report" test_timing_summary ] );
       ( "pipeline",
         [ Tutil.quick "shared engine compiles once" test_shared_engine_compiles_once;

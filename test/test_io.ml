@@ -86,9 +86,16 @@ let test_trace_roundtrip_totals () =
     Lower.compile (Tutil.two_phase_program ()) (Config.v Isa.X86_64 Config.O2)
   in
   with_temp (fun path ->
+      let events = Cbsp_obs.Metrics.counter "trace.replay.events" in
+      let events0 = Cbsp_obs.Metrics.value events in
       let live = Trace.record ~path binary input in
       let replayed = Trace.replay ~path Executor.null_observer in
-      Tutil.check_bool "totals identical" true (live = replayed))
+      Tutil.check_bool "totals identical" true (live = replayed);
+      (* One replay event per trace line: every block, access and marker
+         the recorder wrote was observed by the obs counter. *)
+      Tutil.check_int "trace.replay.events counted every line"
+        (live.Executor.blocks + live.Executor.accesses + live.Executor.markers)
+        (Cbsp_obs.Metrics.value events - events0))
 
 let test_trace_drives_profilers () =
   (* a structure profile computed from the trace equals the live one *)
@@ -121,6 +128,8 @@ let test_trace_drives_cache_model () =
         (Cbsp_cache.Cpu.cycles cpu))
 
 let test_trace_parse_errors () =
+  let parse_errors = Cbsp_obs.Metrics.counter "trace.replay.parse_errors" in
+  let errors0 = Cbsp_obs.Metrics.value parse_errors in
   let bad text =
     let path = Filename.temp_file "cbsp_bad" ".txt" in
     Fun.protect
@@ -137,7 +146,9 @@ let test_trace_parse_errors () =
   bad "A xyz r\n";
   bad "A 12 q\n";
   bad "M nonsense\n";
-  bad "Z 1 2\n"
+  bad "Z 1 2\n";
+  Tutil.check_int "every malformed line counted" 5
+    (Cbsp_obs.Metrics.value parse_errors - errors0)
 
 let () =
   Alcotest.run "io"

@@ -1,0 +1,230 @@
+(* The observability layer: metrics registry, span tracer with Chrome
+   trace_event export, and the run manifest.  The registry is
+   process-global, so every test uses its own metric names and measures
+   deltas rather than absolute values. *)
+
+module Metrics = Cbsp_obs.Metrics
+module Tracer = Cbsp_obs.Tracer
+module Manifest = Cbsp_obs.Manifest
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let index_of haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then -1
+    else if String.sub haystack i nn = needle then i
+    else at (i + 1)
+  in
+  at 0
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_temp f =
+  let path = Filename.temp_file "cbsp_obs" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* --- metrics ---------------------------------------------------------- *)
+
+let test_counter_dedup () =
+  let a = Metrics.counter "obs_test.dedup" in
+  let b = Metrics.counter "obs_test.dedup" in
+  Metrics.incr a;
+  Metrics.incr ~by:2 b;
+  Tutil.check_int "one series behind both handles" 3 (Metrics.value a);
+  (* Label order must not matter: (k, v) pairs are canonicalized. *)
+  let l1 = Metrics.counter ~labels:[ ("x", "1"); ("y", "2") ] "obs_test.lbl" in
+  let l2 = Metrics.counter ~labels:[ ("y", "2"); ("x", "1") ] "obs_test.lbl" in
+  Metrics.incr l1;
+  Metrics.incr l2;
+  Tutil.check_int "label order canonicalized" 2 (Metrics.value l2);
+  let other = Metrics.counter ~labels:[ ("x", "9") ] "obs_test.lbl" in
+  Tutil.check_int "distinct labels, distinct series" 0 (Metrics.value other)
+
+let test_kind_mismatch () =
+  let (_ : Metrics.counter) = Metrics.counter "obs_test.kind" in
+  Tutil.check_bool "gauge under a counter name rejected" true
+    (match Metrics.gauge "obs_test.kind" with
+     | (_ : Metrics.gauge) -> false
+     | exception Invalid_argument _ -> true)
+
+let test_gauge_and_histogram () =
+  let g = Metrics.gauge "obs_test.gauge" in
+  Metrics.set g 7;
+  Metrics.set g 3;
+  Tutil.check_int "gauge keeps last value" 3 (Metrics.gauge_value g);
+  let h = Metrics.histogram "obs_test.hist" in
+  let empty = Metrics.histogram_stats h in
+  Tutil.check_int "empty count" 0 empty.Metrics.hs_count;
+  Tutil.check_bool "empty min" true (empty.Metrics.hs_min = infinity);
+  Metrics.observe h 2.0;
+  Metrics.observe h 0.5;
+  Metrics.observe h 4.5;
+  let s = Metrics.histogram_stats h in
+  Tutil.check_int "count" 3 s.Metrics.hs_count;
+  Tutil.check_close "sum" 7.0 s.Metrics.hs_sum;
+  Tutil.check_close "min" 0.5 s.Metrics.hs_min;
+  Tutil.check_close "max" 4.5 s.Metrics.hs_max
+
+let test_counter_parallel () =
+  let c = Metrics.counter "obs_test.parallel" in
+  let (_ : unit list) =
+    Cbsp_engine.Scheduler.parallel_map ~jobs:8
+      (fun _ -> for _ = 1 to 1000 do Metrics.incr c done)
+      (List.init 8 Fun.id)
+  in
+  Tutil.check_int "no lost updates across domains" 8000 (Metrics.value c)
+
+let test_snapshot_and_reset () =
+  let c = Metrics.counter ~labels:[ ("b", "2"); ("a", "1") ] "obs_test.snap" in
+  Metrics.incr ~by:5 c;
+  let item =
+    List.find
+      (fun i -> i.Metrics.it_name = "obs_test.snap")
+      (Metrics.snapshot ())
+  in
+  Tutil.check_bool "snapshot labels sorted by key" true
+    (item.Metrics.it_labels = [ ("a", "1"); ("b", "2") ]);
+  Tutil.check_bool "snapshot sample" true
+    (item.Metrics.it_sample = Metrics.Counter_sample 5);
+  Metrics.reset ();
+  Tutil.check_int "reset zeroes" 0 (Metrics.value c);
+  Metrics.incr c;
+  Tutil.check_int "handle survives reset" 1 (Metrics.value c)
+
+(* --- tracer ----------------------------------------------------------- *)
+
+let test_tracer_disabled_is_noop () =
+  Tracer.disable ();
+  Tracer.reset ();
+  let before = Tracer.span_count () in
+  Tracer.emit ~name:"n" ~cat:"c" ~t0:0.0 ~t1:1.0 ();
+  Tutil.check_int "with_span is transparent" 9
+    (Tracer.with_span ~name:"n" ~cat:"c" (fun () -> 9));
+  Tutil.check_int "nothing recorded while disabled" before (Tracer.span_count ())
+
+let test_tracer_records_and_reraises () =
+  Tracer.reset ();
+  Tracer.enable ();
+  Fun.protect ~finally:(fun () -> Tracer.disable ())
+    (fun () ->
+      Tutil.check_int "value through span" 5
+        (Tracer.with_span ~name:"ok-span" ~cat:"test" (fun () -> 5));
+      Tutil.check_bool "raising thunk re-raises" true
+        (match
+           Tracer.with_span ~name:"bad-span" ~cat:"test" (fun () ->
+               failwith "inner")
+         with
+         | (_ : int) -> false
+         | exception Failure m -> m = "inner");
+      Tutil.check_int "both spans recorded" 2 (Tracer.span_count ()));
+  with_temp (fun path ->
+      Tracer.export ~path;
+      let json = read_file path in
+      Tutil.check_bool "failure span marked" true
+        (contains json "\"name\": \"bad-span\", \"cat\": \"test\", \"args\": \
+                        { \"ok\": false }"))
+
+let test_export_balanced_nesting () =
+  Tracer.reset ();
+  Tracer.enable ();
+  (* Explicit timestamps: parent covers child and sibling; the export
+     must reconstruct B parent, B child, E child, B sibling, E sibling,
+     E parent for this domain. *)
+  Tracer.emit ~name:"parent" ~cat:"t" ~t0:1.0 ~t1:2.0 ();
+  Tracer.emit ~name:"child" ~cat:"t" ~t0:1.1 ~t1:1.4 ();
+  Tracer.emit ~name:"sibling" ~cat:"t" ~attrs:[ ("k", "v") ] ~t0:1.5 ~t1:1.9 ();
+  Tracer.disable ();
+  with_temp (fun path ->
+      Tracer.export ~path;
+      let json = read_file path in
+      Tutil.check_bool "has traceEvents" true (contains json "\"traceEvents\"");
+      let count needle =
+        let rec go from acc =
+          match index_of (String.sub json from (String.length json - from)) needle with
+          | -1 -> acc
+          | i -> go (from + i + 1) (acc + 1)
+        in
+        go 0 0
+      in
+      Tutil.check_int "three B events" 3 (count "\"ph\": \"B\"");
+      Tutil.check_int "three E events" 3 (count "\"ph\": \"E\"");
+      Tutil.check_bool "attrs exported" true (contains json "\"k\": \"v\"");
+      let last_index needle =
+        let rec go from best =
+          let rest = String.sub json from (String.length json - from) in
+          match index_of rest needle with
+          | -1 -> best
+          | i -> go (from + i + 1) (from + i)
+        in
+        go 0 (-1)
+      in
+      Tutil.check_bool "parent opens first" true
+        (index_of json "parent" < index_of json "child");
+      (* Parent's E event is last: it closes after both children. *)
+      Tutil.check_bool "parent closes last" true
+        (last_index "parent" > last_index "sibling"))
+
+let test_spans_from_worker_domains () =
+  Tracer.reset ();
+  Tracer.enable ();
+  let (_ : int list) =
+    Cbsp_engine.Scheduler.parallel_map ~jobs:2 (fun x -> x * x)
+      (List.init 6 Fun.id)
+  in
+  Tracer.disable ();
+  (* 6 task spans + 2 worker spans, recorded in the workers' own
+     domain-local buffers and all visible from the main domain. *)
+  Tutil.check_int "task + worker spans" 8 (Tracer.span_count ());
+  with_temp (fun path ->
+      Tracer.export ~path;
+      let json = read_file path in
+      Tutil.check_bool "worker rows present" true (contains json "\"worker\"");
+      Tutil.check_bool "task spans present" true (contains json "task-0"))
+
+(* --- manifest --------------------------------------------------------- *)
+
+let test_manifest_write () =
+  Metrics.incr ~by:3 (Metrics.counter "obs_test.manifest");
+  with_temp (fun path ->
+      Manifest.write ~version:"9.9.9" ~argv:[ "cbsp"; "run" ]
+        ~config:[ ("workload", "gcc") ] ~error:"boom \"quoted\""
+        ~tool:"test"
+        ~stages:
+          [ { Manifest.m_stage = "compile"; m_jobs = 4; m_failed = 1;
+              m_seconds = 0.25; m_max_seconds = 0.1; m_in_size = 8;
+              m_out_size = 99 } ]
+        ~failures:[ { Manifest.f_stage = "compile"; f_label = "gcc/32u" } ]
+        ~path ();
+      let json = read_file path in
+      List.iter
+        (fun needle ->
+          Tutil.check_bool ("manifest contains " ^ needle) true
+            (contains json needle))
+        [ "\"schema\": \"cbsp-manifest/1\""; "\"tool\": \"test\"";
+          "\"version\": \"9.9.9\""; "\"workload\": \"gcc\"";
+          "\"stage\": \"compile\""; "\"failed\": 1"; "\"gcc/32u\"";
+          "boom \\\"quoted\\\""; "\"obs_test.manifest\"" ])
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Tutil.quick "counter dedup" test_counter_dedup;
+          Tutil.quick "kind mismatch" test_kind_mismatch;
+          Tutil.quick "gauge + histogram" test_gauge_and_histogram;
+          Tutil.quick "parallel increments" test_counter_parallel;
+          Tutil.quick "snapshot + reset" test_snapshot_and_reset ] );
+      ( "tracer",
+        [ Tutil.quick "disabled is no-op" test_tracer_disabled_is_noop;
+          Tutil.quick "records + re-raises" test_tracer_records_and_reraises;
+          Tutil.quick "balanced export" test_export_balanced_nesting;
+          Tutil.quick "worker domain spans" test_spans_from_worker_domains ] );
+      ( "manifest",
+        [ Tutil.quick "write" test_manifest_write ] ) ]
