@@ -10,6 +10,8 @@ module Simpoint = Cbsp_simpoint.Simpoint
 module Experiment = Cbsp_report.Experiment
 module Figures = Cbsp_report.Figures
 module Ablation = Cbsp_report.Ablation
+module Lint = Cbsp_analysis.Lint
+module Prover = Cbsp_analysis.Prover
 
 open Cmdliner
 
@@ -267,7 +269,7 @@ let print_metrics label (r : Pipeline.binary_result) =
 
 let run_cmd =
   let run name target scale seed max_k primary rep search metrics jobs timing
-      smoke trace manifest =
+      smoke static trace manifest =
     let name =
       match (name, smoke) with
       | Some n, _ -> n
@@ -303,14 +305,21 @@ let run_cmd =
       Pipeline.run_fli ~sp_config ~engine program ~configs ~input ~target
     in
     let vli =
-      Pipeline.run_vli ~sp_config ~primary ~engine program ~configs ~input
-        ~target
+      Pipeline.run_vli ~sp_config ~primary ~static ~engine program ~configs
+        ~input ~target
     in
     Fmt.pr "== %s (target=%d, scale=%d)@." name target scale;
     Fmt.pr "mappable keys: %d of %d candidates; %d VLI boundaries@."
       (Cbsp.Matching.cardinal vli.Pipeline.vli_mappable)
       vli.Pipeline.vli_mappable.Cbsp.Matching.candidates
       vli.Pipeline.vli_n_boundaries;
+    if static then begin
+      let profiled, _ = Pipeline.profile_stats engine in
+      Fmt.pr "static analysis: %d structure profile%s run for the undecided \
+              residue@."
+        profiled
+        (if profiled = 1 then "" else "s")
+    end;
     List.iter (print_binary_result "fli") fli.Pipeline.fli_binaries;
     List.iter (print_binary_result "vli") vli.Pipeline.vli_binaries;
     print_speedups fli.Pipeline.fli_binaries vli.Pipeline.vli_binaries;
@@ -337,12 +346,18 @@ let run_cmd =
              ~doc:"Tiny CI preset: WORKLOAD defaults to gcc and target/scale \
                    are clamped down.")
   in
+  let static_arg =
+    Arg.(value & flag
+         & info [ "static" ]
+             ~doc:"Use the static mappability prover for VLI matching; \
+                   profile only the markers it cannot decide.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run both SimPoint methods on one workload and compare them")
     Term.(const run $ name_arg $ target_arg $ scale_arg $ seed_arg $ max_k_arg
           $ primary_arg $ rep_arg $ search_arg $ metrics_arg $ jobs_arg
-          $ timing_arg $ smoke_arg $ trace_arg $ manifest_arg)
+          $ timing_arg $ smoke_arg $ static_arg $ trace_arg $ manifest_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -683,6 +698,105 @@ let points_cmd =
     [ points_save_cmd; points_replay_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* lint: static analysis over workloads and points files               *)
+
+let lint_cmd =
+  let run workloads scale json points_path =
+    let names =
+      workload_names (match workloads with [] -> None | ws -> Some ws)
+    in
+    let findings = ref [] in
+    let reports = ref [] in
+    let add fs = findings := !findings @ fs in
+    List.iter
+      (fun name ->
+        let entry = Registry.find name in
+        let program = entry.Registry.build () in
+        let program_findings = Lint.check_program ~workload:name ~scale program in
+        add program_findings;
+        (* Binary-level lints assume a program the validator accepts. *)
+        if not (List.exists (fun f -> f.Lint.f_severity = Lint.Error) program_findings)
+        then begin
+          let configs =
+            Config.paper_four ~loop_splitting:entry.Registry.loop_splitting ()
+          in
+          let binaries =
+            List.map (Cbsp_compiler.Lower.compile program) configs
+          in
+          let report = Prover.prove ~binaries ~scale in
+          reports := report :: !reports;
+          add (Lint.check_binaries ~workload:name ~scale ~report binaries)
+        end)
+      names;
+    (match points_path with
+    | None -> ()
+    | Some path ->
+      let header, points = Cbsp.Points_file.load ~path in
+      let markers =
+        Array.to_list
+          (Array.map
+             (fun (b : Cbsp_profile.Interval.boundary) ->
+               b.Cbsp_profile.Interval.bd_key)
+             points.Pipeline.pt_boundaries)
+      in
+      add
+        (Lint.check_points ~workload:header.Cbsp.Points_file.h_program ~markers));
+    let findings = !findings in
+    let totals = Lint.totals_of_reports (List.rev !reports) in
+    Fmt.pr "== lint: %d workload%s, scale %d@." (List.length names)
+      (if List.length names = 1 then "" else "s")
+      scale;
+    List.iter (fun f -> Fmt.pr "%a@." Lint.pp_finding f) findings;
+    let count sev =
+      List.length (List.filter (fun f -> f.Lint.f_severity = sev) findings)
+    in
+    let decided =
+      totals.Lint.at_proved_mappable + totals.Lint.at_proved_unmappable
+    in
+    Fmt.pr "analysis: %d candidate markers, %d proved mappable, %d proved \
+            unmappable, %d need dynamic profiling (%.1f%% decided)@."
+      totals.Lint.at_candidates totals.Lint.at_proved_mappable
+      totals.Lint.at_proved_unmappable totals.Lint.at_needs_dynamic
+      (if totals.Lint.at_candidates = 0 then 100.0
+       else 100.0 *. float_of_int decided /. float_of_int totals.Lint.at_candidates);
+    Fmt.pr "summary: %d error%s, %d warning%s, %d info@."
+      (count Lint.Error)
+      (if count Lint.Error = 1 then "" else "s")
+      (count Lint.Warning)
+      (if count Lint.Warning = 1 then "" else "s")
+      (count Lint.Info);
+    (match json with
+    | None -> ()
+    | Some path ->
+      Cbsp_util.Io.with_out_file path (fun oc ->
+          output_string oc (Lint.to_json ~scale ~workloads:names ~totals findings));
+      Fmt.pr "wrote %s@." path);
+    if count Lint.Error > 0 then exit 1
+  in
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD")
+  in
+  let json_arg =
+    let doc =
+      "Also write the findings as a cbsp-lint/1 JSON report to PATH \
+       (default LINT.json when the flag is given without a value)."
+    in
+    Arg.(value & opt ~vopt:(Some "LINT.json") (some string) None
+         & info [ "json" ] ~docv:"PATH" ~doc)
+  in
+  let points_arg =
+    Arg.(value & opt (some string) None
+         & info [ "points" ] ~docv:"FILE"
+             ~doc:"Also lint a simulation-points file for mangled-marker \
+                   leakage.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze workloads: mappability proofs and program \
+             diagnostics (exit 1 on error findings)")
+    Term.(const run $ names_arg $ scale_arg $ json_arg $ points_arg)
+
+(* ------------------------------------------------------------------ *)
 (* dump-bbv / trace: the offline tooling                               *)
 
 let binary_of_label entry label =
@@ -759,6 +873,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "cbsp" ~version:"1.0.0" ~doc)
     [ list_cmd; show_cmd; profile_cmd; run_cmd; experiment_cmd; sample_cmd;
-      ablation_cmd; phases_cmd; points_cmd; dump_bbv_cmd; trace_cmd ]
+      ablation_cmd; phases_cmd; points_cmd; lint_cmd; dump_bbv_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -53,22 +53,28 @@ let kind_enabled options key =
   | Marker.Kloop_entry -> options.use_loop_entry
   | Marker.Kloop_back -> options.use_loop_back
 
-let find ?(options = default_options) ~binaries ~profiles () =
-  if binaries = [] then invalid_arg "Matching.find: no binaries";
-  if List.length binaries <> List.length profiles then
-    invalid_arg "Matching.find: binaries/profiles length mismatch";
+let eligibility ?(options = default_options) ~binaries () =
   let forbidden_lines =
     if options.inline_recovery then Hashtbl.create 1
     else inlined_loop_lines binaries
   in
   let line_forbidden line = Hashtbl.mem forbidden_lines line in
-  let eligible key =
+  fun key ->
     (not (Marker.is_mangled key))
     && kind_enabled options key
     &&
     match key with
     | Marker.Proc_entry _ -> true
     | Marker.Loop_entry line | Marker.Loop_back line -> not (line_forbidden line)
+
+let find ?options ?restrict ~binaries ~profiles () =
+  if binaries = [] then invalid_arg "Matching.find: no binaries";
+  if List.length binaries <> List.length profiles then
+    invalid_arg "Matching.find: binaries/profiles length mismatch";
+  let eligible = eligibility ?options ~binaries () in
+  let eligible key =
+    eligible key
+    && match restrict with None -> true | Some s -> Marker.Set.mem key s
   in
   match profiles with
   | [] -> assert false
@@ -92,6 +98,11 @@ let find ?(options = default_options) ~binaries ~profiles () =
     { keys = Marker.Map.fold (fun k _ s -> Marker.Set.add k s) agreed Marker.Set.empty;
       counts = agreed;
       candidates = Marker.Set.cardinal !candidates }
+
+let of_counts ~counts ~candidates =
+  { keys = Marker.Map.fold (fun k _ s -> Marker.Set.add k s) counts Marker.Set.empty;
+    counts;
+    candidates }
 
 let is_mappable t key = Marker.Set.mem key t.keys
 

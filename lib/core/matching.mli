@@ -37,14 +37,36 @@ type t = {
   candidates : int;  (** Distinct unmangled keys seen across binaries. *)
 }
 
+val eligibility :
+  ?options:options ->
+  binaries:Cbsp_compiler.Binary.t list ->
+  unit ->
+  Cbsp_compiler.Marker.key -> bool
+(** The key filter {!find} applies before comparing counts: unmangled,
+    kind enabled, and (without inline recovery) not a loop line belonging
+    to a procedure some binary inlined.  Exposed so the static prover's
+    verdicts can be filtered consistently with a dynamic match under the
+    same options. *)
+
 val find :
   ?options:options ->
+  ?restrict:Cbsp_compiler.Marker.Set.t ->
   binaries:Cbsp_compiler.Binary.t list ->
   profiles:Cbsp_profile.Structprof.t list ->
   unit ->
   t
 (** [binaries] and [profiles] are parallel lists (same order); at least
-    one binary is required.  @raise Invalid_argument otherwise. *)
+    one binary is required.  @raise Invalid_argument otherwise.
+
+    [restrict], when given, limits the mappable keys to members of the
+    set — used by the pipeline to match only the residue the static
+    prover could not decide.  [candidates] still counts every unmangled
+    key seen in the profiles. *)
+
+val of_counts : counts:int Cbsp_compiler.Marker.Map.t -> candidates:int -> t
+(** Build a matching directly from agreed per-key counts — the static
+    prover's [Proved_mappable] verdicts, optionally merged with a
+    dynamic residue match. *)
 
 val is_mappable : t -> Cbsp_compiler.Marker.key -> bool
 

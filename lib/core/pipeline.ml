@@ -16,6 +16,7 @@ module Rng = Cbsp_util.Rng
 module Sampler = Cbsp_sampling.Sampler
 module Strata = Cbsp_sampling.Strata
 module Tracer = Cbsp_obs.Tracer
+module Prover = Cbsp_analysis.Prover
 
 type truth = { t_insts : int; t_cycles : float; t_cpi : float }
 
@@ -80,6 +81,8 @@ let create_engine ?(jobs = 1) () =
 let timings eng = Timing.records eng.eng_timing
 
 let compile_stats eng = (Store.computes eng.eng_binaries, Store.hits eng.eng_binaries)
+
+let profile_stats eng = (Store.computes eng.eng_profiles, Store.hits eng.eng_profiles)
 
 (* Artifacts are keyed by the content of everything that determines them:
    a compiled binary by (program, config), a structure profile by
@@ -293,8 +296,60 @@ let run_fli ?(sp_config = Simpoint.default_config) ?cache_config ?engine program
   in
   { fli_binaries = binaries; fli_target = target }
 
+let m_profile_skips = lazy (Cbsp_obs.Metrics.counter "analysis.profile_skips")
+
+let m_dynamic_fallbacks = lazy (Cbsp_obs.Metrics.counter "analysis.dynamic_fallbacks")
+
+(* Steps 1-2 of the VLI method, statically: prove mappability from the
+   symbolic marker counts and profile only when an undecided residue
+   remains.  The proved verdicts are filtered through the same
+   eligibility rules a dynamic match under [match_options] would apply,
+   so ablations stay comparable. *)
+let static_matching eng program ~match_options ~binaries ~input =
+  let prog_name = program.Cbsp_source.Ast.prog_name in
+  let report =
+    Timing.time eng.eng_timing ~stage:Stage.Analysis
+      ~label:(prog_name ^ "/static") ~in_size:(List.length binaries)
+      ~out_size:(fun r -> Marker.Map.cardinal r.Prover.pr_verdicts)
+      (fun () ->
+        Prover.prove ~binaries ~scale:input.Cbsp_source.Input.scale)
+  in
+  let eligible = Matching.eligibility ?options:match_options ~binaries () in
+  let proved =
+    Marker.Map.filter (fun key _ -> eligible key) report.Prover.pr_proved
+  in
+  let residue = Prover.residue report in
+  if Marker.Set.is_empty residue then begin
+    (* Every candidate is decided: the profiling stage is not needed at
+       all for this workload. *)
+    Cbsp_obs.Metrics.incr ~by:(List.length binaries)
+      (Lazy.force m_profile_skips);
+    Matching.of_counts ~counts:proved ~candidates:report.Prover.pr_candidates
+  end
+  else begin
+    Cbsp_obs.Metrics.incr (Lazy.force m_dynamic_fallbacks);
+    let profiles =
+      Scheduler.parallel_map ~jobs:eng.eng_jobs
+        (fun b -> struct_profile eng program b input)
+        binaries
+    in
+    let dyn =
+      Timing.time eng.eng_timing ~stage:Stage.Matching
+        ~label:(prog_name ^ "/vli-residue")
+        ~in_size:(Marker.Set.cardinal residue) ~out_size:Matching.cardinal
+        (fun () ->
+          Matching.find ?options:match_options ~restrict:residue ~binaries
+            ~profiles ())
+    in
+    Matching.of_counts
+      ~counts:
+        (Marker.Map.union (fun _ proved _ -> Some proved) proved
+           dyn.Matching.counts)
+      ~candidates:dyn.Matching.candidates
+  end
+
 let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
-    ?(primary = 0) ?engine program ~configs ~input ~target =
+    ?(primary = 0) ?(static = false) ?engine program ~configs ~input ~target =
   let n = List.length configs in
   if n = 0 then invalid_arg "Pipeline.run_vli: no configs";
   if primary < 0 || primary >= n then invalid_arg "Pipeline.run_vli: bad primary";
@@ -306,19 +361,22 @@ let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
   let binaries =
     Scheduler.parallel_map ~jobs:eng.eng_jobs (compile eng program) configs
   in
-  (* Step 1: call & branch profile of every binary (memoized; one job per
-     binary). *)
-  let profiles =
-    Scheduler.parallel_map ~jobs:eng.eng_jobs
-      (fun b -> struct_profile eng program b input)
-      binaries
-  in
-  (* Step 2: mappable points across all binaries. *)
   let mappable =
-    Timing.time eng.eng_timing ~stage:Stage.Matching ~label:(prog_name ^ "/vli")
-      ~in_size:(List.fold_left (fun a p -> a + Marker.Map.cardinal p) 0 profiles)
-      ~out_size:(fun m -> Matching.cardinal m)
-      (fun () -> Matching.find ?options:match_options ~binaries ~profiles ())
+    if static then static_matching eng program ~match_options ~binaries ~input
+    else begin
+      (* Step 1: call & branch profile of every binary (memoized; one job
+         per binary). *)
+      let profiles =
+        Scheduler.parallel_map ~jobs:eng.eng_jobs
+          (fun b -> struct_profile eng program b input)
+          binaries
+      in
+      (* Step 2: mappable points across all binaries. *)
+      Timing.time eng.eng_timing ~stage:Stage.Matching ~label:(prog_name ^ "/vli")
+        ~in_size:(List.fold_left (fun a p -> a + Marker.Map.cardinal p) 0 profiles)
+        ~out_size:(fun m -> Matching.cardinal m)
+        (fun () -> Matching.find ?options:match_options ~binaries ~profiles ())
+    end
   in
   (* Steps 3-4: VLIs and simulation points on the primary binary. *)
   let primary_binary = List.nth binaries primary in

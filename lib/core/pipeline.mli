@@ -123,6 +123,11 @@ val compile_stats : engine -> int * int
 (** [(computes, hits)] of the binary store: how many compiles ran and how
     many requests were served memoized. *)
 
+val profile_stats : engine -> int * int
+(** [(computes, hits)] of the structure-profile store — with
+    [run_vli ~static:true], [computes] stays at zero whenever the static
+    prover decided every candidate marker. *)
+
 val run_fli :
   ?sp_config:Cbsp_simpoint.Simpoint.config ->
   ?cache_config:Cbsp_cache.Hierarchy.config ->
@@ -138,6 +143,7 @@ val run_vli :
   ?cache_config:Cbsp_cache.Hierarchy.config ->
   ?match_options:Matching.options ->
   ?primary:int ->
+  ?static:bool ->
   ?engine:engine ->
   Cbsp_source.Ast.program ->
   configs:Cbsp_compiler.Config.t list ->
@@ -145,6 +151,14 @@ val run_vli :
   target:int ->
   vli_result
 (** [primary] defaults to 0 (the first configuration).
+
+    [static] (default false) replaces steps 1-2 with the static
+    mappability prover ({!Cbsp_analysis.Prover}): profiles are computed
+    and dynamically matched only for the [Needs_dynamic] residue, and
+    skipped entirely when the prover decides every candidate marker.
+    The resulting {!Matching.t} agrees with the dynamic one on every
+    decided marker (the prover is sound), and the [analysis.*] metrics
+    record proved / undecided / profile-skip counts.
     @raise Invalid_argument if [primary] is out of range or [configs] is
     empty. *)
 

@@ -1,5 +1,6 @@
 type t =
   | Compile
+  | Analysis
   | Struct_profile
   | Matching
   | Interval_collection
@@ -9,6 +10,7 @@ type t =
 
 let name = function
   | Compile -> "compile"
+  | Analysis -> "analysis"
   | Struct_profile -> "struct-profile"
   | Matching -> "matching"
   | Interval_collection -> "interval-collection"
@@ -17,16 +19,17 @@ let name = function
   | Sampling -> "sampling"
 
 let all =
-  [ Compile; Struct_profile; Matching; Interval_collection; Clustering;
-    Summarize; Sampling ]
+  [ Compile; Analysis; Struct_profile; Matching; Interval_collection;
+    Clustering; Summarize; Sampling ]
 
 let index = function
   | Compile -> 0
-  | Struct_profile -> 1
-  | Matching -> 2
-  | Interval_collection -> 3
-  | Clustering -> 4
-  | Summarize -> 5
-  | Sampling -> 6
+  | Analysis -> 1
+  | Struct_profile -> 2
+  | Matching -> 3
+  | Interval_collection -> 4
+  | Clustering -> 5
+  | Summarize -> 6
+  | Sampling -> 7
 
 let compare a b = Int.compare (index a) (index b)

@@ -10,6 +10,7 @@
 
 type t =
   | Compile             (** Lowering a program under one configuration. *)
+  | Analysis            (** Static mappability proving (symbolic counts). *)
   | Struct_profile      (** Call-and-branch structure profile (VLI step 1). *)
   | Matching            (** Mappable-point intersection (VLI step 2). *)
   | Interval_collection (** Full execution with interval observers. *)

@@ -54,11 +54,18 @@ let check_accesses program =
   Ast.iter_stmts
     (function
       | Ast.Work w ->
+        if w.insts <= 0 then fail "work at line %d has non-positive insts" w.work_line;
         List.iter
           (fun a ->
             if a.Ast.acc_array < 0 || a.Ast.acc_array >= n then
               fail "work at line %d references undeclared array %d" w.work_line
                 a.Ast.acc_array;
+            if a.Ast.acc_count <= 0 then
+              fail "work at line %d has non-positive access count" w.work_line;
+            if not (a.Ast.acc_write_ratio >= 0.0 && a.Ast.acc_write_ratio <= 1.0)
+            then
+              fail "work at line %d has write ratio %g outside [0, 1]" w.work_line
+                a.Ast.acc_write_ratio;
             match a.Ast.acc_pattern with
             | Ast.Seq { stride } ->
               if stride <= 0 then

@@ -192,6 +192,31 @@ let prop_work_insts_monotone =
       let lo = min a b and hi = max a b in
       Costmodel.work_insts config lo <= Costmodel.work_insts config hi)
 
+(* Marker keys must survive a trip through their textual form — including
+   procedure names that themselves contain ':' (only the first colon
+   separates the kind tag) and the negative lines of compiler-mangled
+   loop markers. *)
+let prop_marker_roundtrip =
+  let open QCheck in
+  let name_gen =
+    Gen.map
+      (fun chars -> String.concat "" (List.map (String.make 1) chars))
+      (Gen.list_size (Gen.int_range 1 12)
+         (Gen.oneofl [ 'a'; 'z'; 'A'; '0'; '9'; '_'; '.'; ':'; '$'; ' ' ]))
+  in
+  let key_gen =
+    Gen.oneof
+      [ Gen.map (fun s -> Marker.Proc_entry s) name_gen;
+        Gen.map (fun l -> Marker.Loop_entry l) (Gen.int_range (-1000) 1000);
+        Gen.map (fun l -> Marker.Loop_back l) (Gen.int_range (-1000) 1000) ]
+  in
+  let print k = Marker.to_string k in
+  Test.make ~name:"marker to_string/of_string round-trip" ~count:500
+    (make ~print key_gen) (fun key ->
+      match Marker.of_string (Marker.to_string key) with
+      | Some key' -> Marker.equal key key'
+      | None -> false)
+
 let () =
   Alcotest.run "compiler"
     [ ( "cost model",
@@ -210,7 +235,8 @@ let () =
           Tutil.quick "split mangles" test_split_mangles;
           Tutil.quick "split not at O0" test_split_not_at_o0;
           Tutil.quick "static marker keys" test_static_marker_keys;
-          Tutil.quick "deterministic" test_deterministic_compile ] );
+          Tutil.quick "deterministic" test_deterministic_compile;
+          Tutil.qcheck_case prop_marker_roundtrip ] );
       ( "layout",
         [ Tutil.quick "pointer width" test_layout_pointer_width;
           Tutil.quick "no overlap" test_layout_no_overlap;

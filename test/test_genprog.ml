@@ -257,6 +257,53 @@ let prop_data_stream_across_opt =
       | [ a32u; a32o; a64u; a64o ] -> a32u = a32o && a64u = a64o
       | _ -> false)
 
+(* The static prover must be sound on anything the language can express:
+   a [Proved_mappable] verdict must be confirmed (with the same count) by
+   dynamic matching, a [Proved_unmappable] verdict must be dynamically
+   rejected, and a dynamically mappable marker may never be ruled
+   unmappable. *)
+let prop_static_prover_sound =
+  let module Marker = Cbsp_compiler.Marker in
+  let module Prover = Cbsp_analysis.Prover in
+  QCheck.Test.make ~name:"static prover sound vs dynamic matching" ~count:30
+    (QCheck.make plan_gen) (fun plan ->
+      let program = build_program plan in
+      let binaries = binaries_of plan program in
+      let profiles = List.map (fun b -> Structprof.profile b input) binaries in
+      let dynamic = Cbsp.Matching.find ~binaries ~profiles () in
+      let scale = input.Cbsp_source.Input.scale in
+      let report = Prover.prove ~binaries ~scale in
+      Marker.Map.iter
+        (fun key verdict ->
+          let dyn = Cbsp.Matching.is_mappable dynamic key in
+          match verdict with
+          | Prover.Proved_mappable n ->
+            if not dyn then
+              QCheck.Test.fail_reportf "%s proved mappable, dynamic rejects"
+                (Marker.to_string key);
+            let dyn_count = Marker.Map.find key dynamic.Cbsp.Matching.counts in
+            if dyn_count <> n then
+              QCheck.Test.fail_reportf "%s count %d, dynamic %d"
+                (Marker.to_string key) n dyn_count
+          | Prover.Proved_unmappable _ ->
+            if dyn then
+              QCheck.Test.fail_reportf "%s proved unmappable, dynamic accepts"
+                (Marker.to_string key)
+          | Prover.Needs_dynamic -> ())
+        report.Prover.pr_verdicts;
+      Marker.Set.iter
+        (fun key ->
+          match Marker.Map.find_opt key report.Prover.pr_verdicts with
+          | Some (Prover.Proved_mappable _) | Some Prover.Needs_dynamic -> ()
+          | Some (Prover.Proved_unmappable _) ->
+            QCheck.Test.fail_reportf "dynamically mappable %s ruled unmappable"
+              (Marker.to_string key)
+          | None ->
+            QCheck.Test.fail_reportf "dynamically mappable %s not a candidate"
+              (Marker.to_string key))
+        dynamic.Cbsp.Matching.keys;
+      report.Prover.pr_candidates >= dynamic.Cbsp.Matching.candidates)
+
 let () =
   Alcotest.run "genprog"
     [ ( "random programs",
@@ -266,4 +313,5 @@ let () =
           Tutil.qcheck_case prop_marker_stream_equal;
           Tutil.qcheck_case prop_boundaries_replay;
           Tutil.qcheck_case prop_flat_matches_tree;
-          Tutil.qcheck_case prop_data_stream_across_opt ] ) ]
+          Tutil.qcheck_case prop_data_stream_across_opt;
+          Tutil.qcheck_case prop_static_prover_sound ] ) ]

@@ -59,6 +59,13 @@ let test_inline_recovery_off () =
   let compute_loop = loop_line_of program "compute" in
   Tutil.check_bool "recovery off drops inlined loops" false
     (Matching.is_mappable mappable (Marker.Loop_entry compute_loop));
+  (* The same key IS mappable under default options — recovery is what
+     makes the difference, not the key's counts. *)
+  let default_mappable, _ = find program in
+  Tutil.check_bool "default options recover the inlined loop" true
+    (Matching.is_mappable default_mappable (Marker.Loop_entry compute_loop));
+  Tutil.check_bool "ablation strictly shrinks the mappable set" true
+    (Matching.cardinal mappable < Matching.cardinal default_mappable);
   (* but untouched procs' loops survive *)
   let memory_loop = loop_line_of program "memory" in
   Tutil.check_bool "other loops unaffected" true

@@ -88,6 +88,47 @@ let test_empty_body_rejected () =
       B.proc b ~name:"main" [ B.work b ~insts:1 () ];
       B.finish b ~main:"main")
 
+(* The builder already guards these at construction time, so exercise
+   Validate.check directly on raw AST records — the check must hold for
+   programs arriving from any front end, not just the builder. *)
+let raw_program ?(insts = 10) ?(accesses = []) () =
+  { Ast.prog_name = "raw";
+    arrays =
+      [| { Ast.arr_id = 0; arr_name = "a"; arr_kind = Ast.Data { elem_bytes = 8 };
+           arr_length = 64 } |];
+    procs =
+      [ { Ast.proc_name = "main"; proc_line = 1;
+          proc_body = [ Ast.Work { work_line = 2; insts; accesses } ];
+          inline_hint = false } ];
+    main = "main" }
+
+let raw_access ?(count = 1) ?(ratio = 0.0) () =
+  { Ast.acc_array = 0; acc_pattern = Ast.Rand; acc_count = count;
+    acc_write_ratio = ratio }
+
+let expect_invalid_check program =
+  match Validate.check program with
+  | () -> Alcotest.fail "expected Validate.Invalid"
+  | exception Validate.Invalid _ -> ()
+
+let test_validate_write_ratio () =
+  expect_invalid_check (raw_program ~accesses:[ raw_access ~ratio:1.5 () ] ());
+  expect_invalid_check (raw_program ~accesses:[ raw_access ~ratio:(-0.1) () ] ());
+  expect_invalid_check (raw_program ~accesses:[ raw_access ~ratio:Float.nan () ] ());
+  (* The boundaries are legal. *)
+  Validate.check (raw_program ~accesses:[ raw_access ~ratio:1.0 () ] ());
+  Validate.check (raw_program ~accesses:[ raw_access ~ratio:0.0 () ] ())
+
+let test_validate_access_count () =
+  expect_invalid_check (raw_program ~accesses:[ raw_access ~count:0 () ] ());
+  expect_invalid_check (raw_program ~accesses:[ raw_access ~count:(-2) () ] ());
+  Validate.check (raw_program ~accesses:[ raw_access ~count:1 () ] ())
+
+let test_validate_work_insts () =
+  expect_invalid_check (raw_program ~insts:0 ());
+  expect_invalid_check (raw_program ~insts:(-5) ());
+  Validate.check (raw_program ~insts:1 ())
+
 let test_builder_guards () =
   let b = B.create ~name:"t" in
   Alcotest.check_raises "zero insts"
@@ -190,6 +231,9 @@ let () =
           Tutil.quick "self recursion" test_self_recursion_rejected;
           Tutil.quick "duplicate proc" test_duplicate_proc_rejected;
           Tutil.quick "empty body" test_empty_body_rejected;
+          Tutil.quick "write ratio bounds" test_validate_write_ratio;
+          Tutil.quick "access count positive" test_validate_access_count;
+          Tutil.quick "work insts positive" test_validate_work_insts;
           Tutil.quick "call depth" test_call_depth ] );
       ( "semantics",
         [ Tutil.quick "trips eval" test_trips_eval;
