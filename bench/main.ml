@@ -21,6 +21,7 @@ module Lower = Cbsp_compiler.Lower
 module Binary = Cbsp_compiler.Binary
 module Executor = Cbsp_exec.Executor
 module Interval = Cbsp_profile.Interval
+module Ivl_file = Cbsp_profile.Ivl_file
 module Structprof = Cbsp_profile.Structprof
 module Kmeans = Cbsp_simpoint.Kmeans
 module Projection = Cbsp_simpoint.Projection
@@ -71,6 +72,8 @@ let projection_fixture =
   let rng = Rng.create ~seed:5 in
   (p, Array.init 400 (fun _ -> Rng.float rng))
 
+let projection_out = Array.make 15 0.0
+
 (* ------------------------------------------------------------------ *)
 (* Hot-kernel benchmarks: optimized vs reference implementations, and  *)
 (* the machine-readable perf trajectory (BENCH_kernels.json).          *)
@@ -94,12 +97,36 @@ let projection_rows =
    These are the fixed denominators of the perf trajectory:
    BENCH_kernels.json reports speedup_vs_seed against them, so any later
    regression shows up as a shrinking ratio.  Refresh them only when the
-   fixtures change, and say so in the PR. *)
+   fixtures change, and say so in the PR.
+
+   The ivl/* and projection/project_into kernels are new with the
+   streaming-profile refactor; their baselines are the first recorded
+   measurements (same container, same quota), so their trajectory starts
+   at 1.0x by construction and any later change is relative to that. *)
 let seed_baseline_ns =
   [ ("exec/run_tiny", 114_905.0);
     ("exec/fli_pass_tiny", 153_686.0);
     ("kmeans/k8_150pts", 306_061.0);
-    ("projection/apply_400to15", 7_550.0) ]
+    ("projection/apply_400to15", 7_550.0);
+    ("projection/project_into_400to15", 2_855.0);
+    ("ivl/encode_64x400", 552_067.0);
+    ("ivl/decode_64x400", 360_872.0) ]
+
+(* Codec fixture: a 64-interval profile with 400-block, two-thirds-sparse
+   BBVs and four extra counters — instruction-weighted counts, so mostly
+   integral floats, like a real FLI pass produces. *)
+let ivl_intervals =
+  let rng = Rng.create ~seed:21 in
+  Array.init 64 (fun _ ->
+      { Interval.insts = 5_000 + Rng.int rng ~bound:5_000;
+        cycles = 6_500.0 +. (1_000.0 *. Rng.float rng);
+        extras = Array.init 4 (fun _ -> float_of_int (Rng.int rng ~bound:500));
+        bbv =
+          Array.init 400 (fun j ->
+              if j mod 3 = 0 then float_of_int (Rng.int rng ~bound:200)
+              else 0.0) })
+
+let ivl_encoded = Ivl_file.encode ~n_blocks:400 ivl_intervals
 
 (* A 2000-interval synthetic population with 8 phase-like strata whose
    CPI levels differ, exercising every branch of the estimators
@@ -180,6 +207,11 @@ let kernel_specs =
       (fun () ->
         let p, v = projection_fixture in
         Projection.apply p v);
+    kernel "projection/project_into_400to15"
+      ~baseline:(List.assoc "projection/project_into_400to15" seed_baseline_ns)
+      (fun () ->
+        let p, v = projection_fixture in
+        Projection.project_into p v projection_out);
     kernel "projection/apply_all_300rows"
       ~reference:"projection/apply_all_300rows_map"
       (fun () ->
@@ -189,6 +221,14 @@ let kernel_specs =
       (fun () ->
         let p, _ = projection_fixture in
         Array.map (Projection.apply p) projection_rows);
+    (* interval codec: compact binary encode/decode of the 64-interval
+       fixture profile — the artifact store's on-disk path *)
+    kernel "ivl/encode_64x400"
+      ~baseline:(List.assoc "ivl/encode_64x400" seed_baseline_ns)
+      (fun () -> Ivl_file.encode ~n_blocks:400 ivl_intervals);
+    kernel "ivl/decode_64x400"
+      ~baseline:(List.assoc "ivl/decode_64x400" seed_baseline_ns)
+      (fun () -> Ivl_file.decode ivl_encoded);
     (* sampling estimators: cost of one estimate over a 2000-interval
        population (selection + ratio estimate + t-quantile CI), the
        per-run overhead `cbsp sample` pays on top of the profiling pass *)
@@ -322,6 +362,86 @@ let engine_comparison () =
     Fmt.pr "  (single-core machine: parallel speedup needs more cores)@."
 
 (* ------------------------------------------------------------------ *)
+(* bench --suite: the end-to-end benchmark of the streaming profile    *)
+(* data path — a registry-wide VLI run per memory regime.  The         *)
+(* materialized reference runs first and its metrics are read and      *)
+(* discarded, so the manifest's snapshot (and the CI gate reading it)  *)
+(* describes exactly the streaming run.                                *)
+
+type suite_numbers = {
+  sn_workloads : int;
+  sn_target : int;
+  sn_stream_s : float;
+  sn_stream_peak : int;  (* profile.scratch_intervals after streaming *)
+  sn_mat_s : float;
+  sn_mat_peak : int;     (* same gauge after the materialized reference *)
+  sn_failed : int;       (* failed stage jobs in the streaming run *)
+}
+
+let suite_vli ~materialize ~names ~target ~input eng =
+  List.iter
+    (fun name ->
+      let entry = Cbsp_workloads.Registry.find name in
+      let program = entry.Cbsp_workloads.Registry.build () in
+      let configs =
+        Config.paper_four
+          ~loop_splitting:entry.Cbsp_workloads.Registry.loop_splitting ()
+      in
+      ignore
+        (Pipeline.run_vli ~materialize ~engine:eng program ~configs ~input
+           ~target))
+    names
+
+let suite_mode ~smoke =
+  let names =
+    if smoke then small_names else Cbsp_workloads.Registry.names
+  in
+  let target = if smoke then 10_000 else 50_000 in
+  let input = bench_input in
+  Fmt.pr "=== End-to-end suite benchmark (%d workloads, VLI, target %d) ===@."
+    (List.length names) target;
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let scratch = Cbsp_obs.Metrics.gauge "profile.scratch_intervals" in
+  Cbsp_obs.Metrics.reset ();
+  let mat_s =
+    timed (fun () ->
+        suite_vli ~materialize:true ~names ~target ~input
+          (Pipeline.create_engine ()))
+  in
+  let mat_peak = Cbsp_obs.Metrics.gauge_value scratch in
+  Cbsp_obs.Metrics.reset ();
+  let eng = Pipeline.create_engine () in
+  let stream_s =
+    timed (fun () -> suite_vli ~materialize:false ~names ~target ~input eng)
+  in
+  let stream_peak = Cbsp_obs.Metrics.gauge_value scratch in
+  let records = Pipeline.timings eng in
+  let failed = List.length (Cbsp_engine.Timing.failures records) in
+  Fmt.pr "  %-44s %8.3f s  (scratch peak %d intervals)@."
+    "materialized (pre-refactor array path)" mat_s mat_peak;
+  Fmt.pr "  %-44s %8.3f s  (scratch peak %d intervals)@." "streaming"
+    stream_s stream_peak;
+  Fmt.pr "  %-44s %8.2fx@." "streaming speedup vs materialized"
+    (mat_s /. stream_s);
+  Fmt.pr "  %-44s %8d@." "failed stage jobs (streaming)" failed;
+  Cbsp_obs.Manifest.write ~argv:(Array.to_list Sys.argv) ~tool:"bench-suite"
+    ~config:
+      [ ("workloads", string_of_int (List.length names));
+        ("target", string_of_int target);
+        ("mode", if smoke then "smoke" else "full") ]
+    ~stages:(Cbsp_engine.Timing.manifest_stages records)
+    ~failures:(Cbsp_engine.Timing.manifest_failures records)
+    ~path:"bench-suite-manifest.json" ();
+  Fmt.pr "@.wrote bench-suite-manifest.json@.@.";
+  { sn_workloads = List.length names; sn_target = target;
+    sn_stream_s = stream_s; sn_stream_peak = stream_peak; sn_mat_s = mat_s;
+    sn_mat_peak = mat_peak; sn_failed = failed }
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 
 (* Measure [tests]; return (name, ns/run, r2) rows sorted by name. *)
@@ -385,7 +505,7 @@ let json_float f =
 
 let json_opt_float = function None -> "null" | Some f -> json_float f
 
-let write_kernels_json ~path ~mode rows =
+let write_kernels_json ~path ~mode ?suite rows =
   let ns_of name =
     match List.find_opt (fun (n, _, _) -> n = name) rows with
     | Some (_, ns, _) when Float.is_finite ns && ns > 0.0 -> Some ns
@@ -393,7 +513,27 @@ let write_kernels_json ~path ~mode rows =
   in
   Cbsp_util.Io.with_out_file path @@ fun oc ->
   Printf.fprintf oc "{\n  \"schema\": \"cbsp-bench-kernels/1\",\n";
-  Printf.fprintf oc "  \"mode\": %S,\n  \"kernels\": [" mode;
+  Printf.fprintf oc "  \"mode\": %S,\n" mode;
+  (match suite with
+  | None -> Printf.fprintf oc "  \"suite\": null,\n"
+  | Some sn ->
+    (* The end-to-end trajectory: the materialized pass is the recorded
+       pre-refactor baseline, so speedup_vs_materialized is the suite's
+       speedup_vs_seed. *)
+    Printf.fprintf oc "  \"suite\": {\n";
+    Printf.fprintf oc "    \"workloads\": %d,\n    \"target\": %d,\n"
+      sn.sn_workloads sn.sn_target;
+    Printf.fprintf oc
+      "    \"streaming\": { \"seconds\": %s, \"scratch_peak_intervals\": %d },\n"
+      (json_float sn.sn_stream_s) sn.sn_stream_peak;
+    Printf.fprintf oc
+      "    \"materialized\": { \"seconds\": %s, \"scratch_peak_intervals\": \
+       %d },\n"
+      (json_float sn.sn_mat_s) sn.sn_mat_peak;
+    Printf.fprintf oc "    \"speedup_vs_materialized\": %s,\n"
+      (json_float (sn.sn_mat_s /. sn.sn_stream_s));
+    Printf.fprintf oc "    \"failed_stages\": %d },\n" sn.sn_failed);
+  Printf.fprintf oc "  \"kernels\": [";
   List.iteri
     (fun i spec ->
       let ns, r2 =
@@ -433,7 +573,7 @@ let write_kernels_json ~path ~mode rows =
     kernel_specs;
   Printf.fprintf oc "\n  ]\n}\n"
 
-let kernel_mode ~path ~smoke =
+let kernel_mode ~path ~smoke ?suite () =
   let quota_s, limit = if smoke then (0.01, 5) else (0.5, 2000) in
   Fmt.pr "=== Hot-kernel benchmarks (%s mode) ===@."
     (if smoke then "smoke" else "full");
@@ -441,7 +581,8 @@ let kernel_mode ~path ~smoke =
     measure (List.map (fun s -> s.ks_test) kernel_specs) ~quota_s ~limit
   in
   print_rows rows;
-  write_kernels_json ~path ~mode:(if smoke then "smoke" else "full") rows;
+  write_kernels_json ~path ~mode:(if smoke then "smoke" else "full") ?suite
+    rows;
   Fmt.pr "@.wrote %s@." path
 
 let full_mode () =
@@ -469,7 +610,8 @@ let full_mode () =
   Fmt.pr "@.(full suite regenerated in %.1f s)@." (Unix.gettimeofday () -. t0)
 
 let () =
-  let json = ref None and smoke = ref false and bad = ref [] in
+  let json = ref None and smoke = ref false and suite = ref false in
+  let bad = ref [] in
   Array.iteri
     (fun i arg ->
       if i > 0 then
@@ -477,21 +619,30 @@ let () =
         else if String.length arg > 7 && String.sub arg 0 7 = "--json=" then
           json := Some (String.sub arg 7 (String.length arg - 7))
         else if arg = "--smoke" then smoke := true
+        else if arg = "--suite" then suite := true
         else bad := arg :: !bad)
     Sys.argv;
   if !bad <> [] then begin
     Fmt.epr "unknown arguments: %s@." (String.concat " " (List.rev !bad));
-    Fmt.epr "usage: bench [--json[=PATH]] [--smoke]@.";
+    Fmt.epr "usage: bench [--json[=PATH]] [--suite] [--smoke]@.";
     exit 2
   end;
-  (match !json with
-   | Some path -> kernel_mode ~path ~smoke:!smoke
-   | None ->
-     if !smoke then begin
-       Fmt.epr "--smoke requires --json@.";
-       exit 2
-     end;
-     full_mode ());
+  (if !suite then begin
+     (* --suite: end-to-end registry benchmark, then the kernels, both
+        recorded in one BENCH_kernels.json. *)
+     let path = Option.value !json ~default:"BENCH_kernels.json" in
+     let numbers = suite_mode ~smoke:!smoke in
+     kernel_mode ~path ~smoke:!smoke ~suite:numbers ()
+   end
+   else
+     match !json with
+     | Some path -> kernel_mode ~path ~smoke:!smoke ()
+     | None ->
+       if !smoke then begin
+         Fmt.epr "--smoke requires --json or --suite@.";
+         exit 2
+       end;
+       full_mode ());
   (* Like `cbsp run`, every bench invocation leaves a manifest behind:
      bench has no timing sink, so its stage table is empty, but the
      metrics snapshot records what the measured code actually did. *)

@@ -816,33 +816,63 @@ let config_arg =
          ~doc:"Binary to use (32u/32o/64u/64o).")
 
 let dump_bbv_cmd =
-  let run name label out target scale seed =
+  let run name label out format target scale seed =
     let entry = Registry.find name in
     let binary = binary_of_label entry label in
     let input = input_of ~scale ~seed in
-    let iobs, read =
-      Cbsp_profile.Interval.fli_observer
-        ~n_blocks:binary.Cbsp_compiler.Binary.n_blocks ~target ()
-    in
-    let (_ : Cbsp_exec.Executor.totals) =
-      Cbsp_exec.Executor.run binary input iobs
-    in
-    let intervals = read () in
-    Cbsp_profile.Bbv_file.save ~path:out intervals;
-    Fmt.pr "wrote %d frequency vectors (dim %d) to %s@."
-      (Array.length intervals) binary.Cbsp_compiler.Binary.n_blocks out
+    let n_blocks = binary.Cbsp_compiler.Binary.n_blocks in
+    match format with
+    | "bb" ->
+      let iobs, read =
+        Cbsp_profile.Interval.fli_observer ~n_blocks ~target ()
+      in
+      let (_ : Cbsp_exec.Executor.totals) =
+        Cbsp_exec.Executor.run binary input iobs
+      in
+      let intervals = read () in
+      Cbsp_profile.Bbv_file.save ~path:out intervals;
+      Fmt.pr "wrote %d frequency vectors (dim %d) to %s@."
+        (Array.length intervals) n_blocks out
+    | "ivl" ->
+      (* The streaming path end to end: each interval goes from the
+         builder straight into the binary writer, so the dump holds one
+         interval of memory whatever the run length. *)
+      let w = Cbsp_profile.Ivl_file.writer ~path:out ~n_blocks ~n_extras:0 in
+      let iobs, finish =
+        Cbsp_profile.Interval.fli_stream ~n_blocks ~target
+          ~emit:(Cbsp_profile.Ivl_file.write w) ()
+      in
+      let (_ : Cbsp_exec.Executor.totals) =
+        Cbsp_exec.Executor.run binary input iobs
+      in
+      let n = finish () in
+      Cbsp_profile.Ivl_file.close w;
+      Fmt.pr "wrote %d intervals (dim %d, %d bytes, cbsp-ivl/1) to %s@." n
+        n_blocks
+        (Cbsp_profile.Ivl_file.written_bytes w)
+        out
+    | other ->
+      Fmt.epr "unknown format %S (bb/ivl)@." other;
+      exit 2
   in
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
   in
   let out_arg =
-    Arg.(value & opt string "out.bb" & info [ "o"; "output" ] ~doc:"Output file.")
+    Arg.(value & opt string "out.ivl" & info [ "o"; "output" ]
+           ~doc:"Output file.")
+  in
+  let format_arg =
+    Arg.(value & opt string "ivl" & info [ "format" ]
+         ~doc:"Output format: $(b,ivl) (compact binary cbsp-ivl/1, written \
+               streaming; the default) or $(b,bb) (SimPoint text frequency \
+               vectors, for .bb interop).")
   in
   Cmd.v
     (Cmd.info "dump-bbv"
-       ~doc:"Write basic block vectors in SimPoint's frequency-vector format")
-    Term.(const run $ name_arg $ config_arg $ out_arg $ target_arg $ scale_arg
-          $ seed_arg)
+       ~doc:"Write basic block vectors (cbsp-ivl/1 binary or SimPoint text)")
+    Term.(const run $ name_arg $ config_arg $ out_arg $ format_arg $ target_arg
+          $ scale_arg $ seed_arg)
 
 let trace_cmd =
   let run name label out scale seed =

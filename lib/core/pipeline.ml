@@ -122,6 +122,22 @@ type clustering = {
   cl_n_phases : int;
 }
 
+(* Spread a Simpoint result over the full interval numbering: live
+   intervals get their cluster's phase, empty (trailing) intervals
+   inherit the previous live interval's phase, and representative
+   indices are translated back to original interval indices. *)
+let extend_clustering ~n ~live_idx ~is_live sp =
+  let phase_of = Array.make n 0 in
+  Array.iteri (fun j phase -> phase_of.(live_idx.(j)) <- phase) sp.Simpoint.phase_of;
+  let last = ref 0 in
+  for i = 0 to n - 1 do
+    if is_live i then last := phase_of.(i) else phase_of.(i) <- !last
+  done;
+  let reps =
+    Array.map (fun p -> live_idx.(p.Simpoint.rep)) sp.Simpoint.points
+  in
+  { cl_phase_of = phase_of; cl_reps = reps; cl_n_phases = sp.Simpoint.k }
+
 let cluster ~sp_config (intervals : Interval.interval array) =
   let live =
     Array.to_list (Array.mapi (fun i iv -> (i, iv)) intervals)
@@ -133,48 +149,59 @@ let cluster ~sp_config (intervals : Interval.interval array) =
   in
   let bbvs = Array.of_list (List.map (fun (_, iv) -> iv.Interval.bbv) live) in
   let sp = Simpoint.pick ~config:sp_config ~weights ~bbvs () in
-  let n = Array.length intervals in
-  let phase_of = Array.make n 0 in
-  Array.iteri (fun j phase -> phase_of.(live_idx.(j)) <- phase) sp.Simpoint.phase_of;
-  (* Empty intervals inherit the previous live interval's phase. *)
-  let last = ref 0 in
-  for i = 0 to n - 1 do
-    if intervals.(i).Interval.insts > 0 then last := phase_of.(i)
-    else phase_of.(i) <- !last
-  done;
-  let reps =
-    Array.map (fun p -> live_idx.(p.Simpoint.rep)) sp.Simpoint.points
-  in
-  { cl_phase_of = phase_of; cl_reps = reps; cl_n_phases = sp.Simpoint.k }
+  extend_clustering ~n:(Array.length intervals) ~live_idx
+    ~is_live:(fun i -> intervals.(i).Interval.insts > 0)
+    sp
 
-let timed_cluster eng ~label ~sp_config intervals =
+(* The streaming counterpart: the collector already normalized and
+   projected each live interval at emission time, so clustering starts
+   from [pick_projected] — same floats, same result as [cluster] over
+   the materialized intervals. *)
+let cluster_streamed ~sp_config (col : Streamprof.t) =
+  let stats = Streamprof.stats col in
+  let { Streamprof.ci_live_idx; ci_weights; ci_points } =
+    Streamprof.cluster_inputs col
+  in
+  let sp =
+    Simpoint.pick_projected ~config:sp_config ~weights:ci_weights
+      ~points:ci_points ()
+  in
+  extend_clustering ~n:(Array.length stats) ~live_idx:ci_live_idx
+    ~is_live:(fun i -> stats.(i).Streamprof.st_insts > 0)
+    sp
+
+let timed_cluster eng ~label ~sp_config ~n_intervals cluster_fn =
   Timing.time eng.eng_timing ~stage:Stage.Clustering ~label
-    ~in_size:(Array.length intervals)
+    ~in_size:n_intervals
     ~out_size:(fun c -> c.cl_n_phases)
-    (fun () -> cluster ~sp_config intervals)
+    (fun () -> cluster_fn ~sp_config)
 
 (* Per-binary phase statistics and the SimPoint CPI estimate, from this
    binary's own per-interval measurements and the (shared or per-binary)
    clustering.  This is exactly the paper's step 6: weights are the
    fraction of *this binary's* dynamic instructions per phase. *)
+(* [summarize] reads only the per-interval scalars ([insts], [cycles],
+   [extras]) — never BBVs — so it consumes the collector's lightweight
+   stats and serves the streaming and materialized paths identically. *)
 let summarize ~config ~truth ~counter_names ~clustering
-    (intervals : Interval.interval array) =
+    (stats : Streamprof.stat array) =
   let k = clustering.cl_n_phases in
   let insts_per_phase = Array.make k 0.0 in
   let cycles_per_phase = Array.make k 0.0 in
   Array.iteri
-    (fun i (iv : Interval.interval) ->
+    (fun i (st : Streamprof.stat) ->
       let p = clustering.cl_phase_of.(i) in
-      insts_per_phase.(p) <- insts_per_phase.(p) +. float_of_int iv.Interval.insts;
-      cycles_per_phase.(p) <- cycles_per_phase.(p) +. iv.Interval.cycles)
-    intervals;
+      insts_per_phase.(p) <-
+        insts_per_phase.(p) +. float_of_int st.Streamprof.st_insts;
+      cycles_per_phase.(p) <- cycles_per_phase.(p) +. st.Streamprof.st_cycles)
+    stats;
   let total_insts = Stats.sum insts_per_phase in
   let phases =
     Array.init k (fun p ->
-        let rep = intervals.(clustering.cl_reps.(p)) in
+        let rep = stats.(clustering.cl_reps.(p)) in
         let sp_cpi =
-          if rep.Interval.insts = 0 then 0.0
-          else rep.Interval.cycles /. float_of_int rep.Interval.insts
+          if rep.Streamprof.st_insts = 0 then 0.0
+          else rep.Streamprof.st_cycles /. float_of_int rep.Streamprof.st_insts
         in
         let true_cpi =
           if insts_per_phase.(p) = 0.0 then 0.0
@@ -190,18 +217,20 @@ let summarize ~config ~truth ~counter_names ~clustering
   (* Extra metrics (per 1000 instructions): truth from interval totals,
      estimate from the representatives, exactly like CPI. *)
   let n_extras =
-    Array.fold_left (fun acc iv -> max acc (Array.length iv.Interval.extras)) 0
-      intervals
+    Array.fold_left
+      (fun acc (st : Streamprof.stat) ->
+        max acc (Array.length st.Streamprof.st_extras))
+      0 stats
   in
   let metrics =
     List.mapi
       (fun e name ->
         let total = ref 0.0 in
         Array.iter
-          (fun (iv : Interval.interval) ->
-            if e < Array.length iv.Interval.extras then
-              total := !total +. iv.Interval.extras.(e))
-          intervals;
+          (fun (st : Streamprof.stat) ->
+            if e < Array.length st.Streamprof.st_extras then
+              total := !total +. st.Streamprof.st_extras.(e))
+          stats;
         let true_pki =
           if truth.t_insts = 0 then 0.0
           else !total /. float_of_int truth.t_insts *. 1000.0
@@ -209,40 +238,45 @@ let summarize ~config ~truth ~counter_names ~clustering
         let est_pki =
           Array.fold_left
             (fun acc ph ->
-              let rep = intervals.(clustering.cl_reps.(ph.ph_id)) in
-              if rep.Interval.insts = 0 || e >= Array.length rep.Interval.extras
+              let rep = stats.(clustering.cl_reps.(ph.ph_id)) in
+              if
+                rep.Streamprof.st_insts = 0
+                || e >= Array.length rep.Streamprof.st_extras
               then acc
               else
                 acc
                 +. ph.ph_weight
-                   *. (rep.Interval.extras.(e)
-                       /. float_of_int rep.Interval.insts *. 1000.0))
+                   *. (rep.Streamprof.st_extras.(e)
+                       /. float_of_int rep.Streamprof.st_insts *. 1000.0))
             0.0 phases
         in
         { m_name = name; m_true_pki = true_pki; m_est_pki = est_pki })
       (if n_extras = 0 then [] else counter_names)
     |> Array.of_list
   in
-  let live = Array.to_list intervals |> List.filter (fun iv -> iv.Interval.insts > 0) in
+  let live =
+    Array.to_list stats
+    |> List.filter (fun (st : Streamprof.stat) -> st.Streamprof.st_insts > 0)
+  in
   let avg_interval =
     match live with
     | [] -> 0.0
     | _ ->
-      float_of_int (List.fold_left (fun a iv -> a + iv.Interval.insts) 0 live)
+      float_of_int
+        (List.fold_left (fun a st -> a + st.Streamprof.st_insts) 0 live)
       /. float_of_int (List.length live)
   in
   { br_config = config; br_truth = truth; br_est_cpi = est_cpi;
     br_est_cycles = est_cpi *. float_of_int truth.t_insts;
     br_cpi_error = Stats.relative_error ~truth:truth.t_cpi ~estimate:est_cpi;
-    br_n_points = k; br_n_intervals = Array.length intervals;
+    br_n_points = k; br_n_intervals = Array.length stats;
     br_avg_interval = avg_interval; br_phases = phases; br_metrics = metrics }
 
-let timed_summarize eng ~label ~config ~truth ~counter_names ~clustering
-    intervals =
+let timed_summarize eng ~label ~config ~truth ~counter_names ~clustering stats =
   Timing.time eng.eng_timing ~stage:Stage.Summarize ~label
-    ~in_size:(Array.length intervals)
+    ~in_size:(Array.length stats)
     ~out_size:(fun r -> Array.length r.br_phases)
-    (fun () -> summarize ~config ~truth ~counter_names ~clustering intervals)
+    (fun () -> summarize ~config ~truth ~counter_names ~clustering stats)
 
 let measure_truth totals cpu =
   let insts = totals.Executor.insts in
@@ -252,8 +286,8 @@ let measure_truth totals cpu =
 let job_label (program : Cbsp_source.Ast.program) config ~kind =
   program.Cbsp_source.Ast.prog_name ^ "/" ^ Config.label config ^ "/" ^ kind
 
-let run_fli ?(sp_config = Simpoint.default_config) ?cache_config ?engine program
-    ~configs ~input ~target =
+let run_fli ?(sp_config = Simpoint.default_config) ?cache_config
+    ?(materialize = false) ?engine program ~configs ~input ~target =
   if configs = [] then invalid_arg "Pipeline.run_fli: no configs";
   Tracer.with_span ~name:"run_fli" ~cat:"pipeline"
     ~attrs:[ ("program", program.Cbsp_source.Ast.prog_name) ]
@@ -269,29 +303,65 @@ let run_fli ?(sp_config = Simpoint.default_config) ?cache_config ?engine program
         let binary = compile eng program config in
         let label = job_label program config ~kind:"fli" in
         let cpu = Cpu.create ?config:cache_config () in
-        let iobs, read =
-          Interval.fli_observer ~n_blocks:binary.Binary.n_blocks ~target
-            ~cycles:(fun () -> Cpu.cycles cpu)
-            ~extras:(fun () -> Cpu.extra_counters cpu)
-            ()
-        in
         (* The interval builder must observe each block BEFORE the CPU
            charges it, so a cut's cycle sample excludes the block that
            starts the next interval. *)
-        let totals, intervals =
-          Timing.time eng.eng_timing ~stage:Stage.Interval_collection ~label
-            ~in_size:binary.Binary.n_blocks
-            ~out_size:(fun (t, _) -> t.Executor.insts)
-            (fun () ->
-              let totals =
-                Executor.run binary input
-                  (Executor.compose [ iobs; Cpu.observer cpu ])
-              in
-              (totals, read ()))
+        let totals, stats, cluster_fn =
+          if materialize then begin
+            let iobs, read =
+              Interval.fli_observer ~n_blocks:binary.Binary.n_blocks ~target
+                ~cycles:(fun () -> Cpu.cycles cpu)
+                ~extras:(fun () -> Cpu.extra_counters cpu)
+                ()
+            in
+            let totals, intervals =
+              Timing.time eng.eng_timing ~stage:Stage.Interval_collection
+                ~label ~in_size:binary.Binary.n_blocks
+                ~out_size:(fun (t, _) -> t.Executor.insts)
+                (fun () ->
+                  let totals =
+                    Executor.run binary input
+                      (Executor.compose [ iobs; Cpu.observer cpu ])
+                  in
+                  (totals, read ()))
+            in
+            ( totals,
+              Streamprof.stats_of_intervals intervals,
+              fun ~sp_config -> cluster ~sp_config intervals )
+          end
+          else begin
+            let col =
+              Streamprof.create ~sp_config ~n_blocks:binary.Binary.n_blocks ()
+            in
+            let iobs, finish =
+              Interval.fli_stream ~n_blocks:binary.Binary.n_blocks ~target
+                ~cycles:(fun () -> Cpu.cycles cpu)
+                ~extras:(fun () -> Cpu.extra_counters cpu)
+                ~emit:(Streamprof.emit col) ()
+            in
+            let totals =
+              Timing.time eng.eng_timing ~stage:Stage.Interval_collection
+                ~label ~in_size:binary.Binary.n_blocks
+                ~out_size:(fun t -> t.Executor.insts)
+                (fun () ->
+                  let totals =
+                    Executor.run binary input
+                      (Executor.compose [ iobs; Cpu.observer cpu ])
+                  in
+                  let (_ : int) = finish () in
+                  totals)
+            in
+            ( totals,
+              Streamprof.stats col,
+              fun ~sp_config -> cluster_streamed ~sp_config col )
+          end
         in
-        let clustering = timed_cluster eng ~label ~sp_config intervals in
+        let clustering =
+          timed_cluster eng ~label ~sp_config
+            ~n_intervals:(Array.length stats) cluster_fn
+        in
         timed_summarize eng ~label ~config ~truth:(measure_truth totals cpu)
-          ~counter_names:(Cpu.extra_counter_names cpu) ~clustering intervals)
+          ~counter_names:(Cpu.extra_counter_names cpu) ~clustering stats)
       configs
   in
   { fli_binaries = binaries; fli_target = target }
@@ -349,7 +419,8 @@ let static_matching eng program ~match_options ~binaries ~input =
   end
 
 let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
-    ?(primary = 0) ?(static = false) ?engine program ~configs ~input ~target =
+    ?(primary = 0) ?(static = false) ?(materialize = false) ?engine program
+    ~configs ~input ~target =
   let n = List.length configs in
   if n = 0 then invalid_arg "Pipeline.run_vli: no configs";
   if primary < 0 || primary >= n then invalid_arg "Pipeline.run_vli: bad primary";
@@ -384,33 +455,72 @@ let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
     job_label program primary_binary.Binary.config ~kind:"vli"
   in
   let primary_cpu = Cpu.create ?config:cache_config () in
-  let robs, read =
-    Interval.vli_recorder ~n_blocks:primary_binary.Binary.n_blocks ~target
-      ~mappable:(Matching.is_mappable mappable)
-      ~cycles:(fun () -> Cpu.cycles primary_cpu)
-      ~extras:(fun () -> Cpu.extra_counters primary_cpu)
-      ()
-  in
-  let primary_totals, (primary_intervals, boundaries) =
-    Timing.time eng.eng_timing ~stage:Stage.Interval_collection
-      ~label:primary_label ~in_size:primary_binary.Binary.n_blocks
-      ~out_size:(fun (t, _) -> t.Executor.insts)
-      (fun () ->
-        let totals =
-          Executor.run primary_binary input
-            (Executor.compose [ robs; Cpu.observer primary_cpu ])
-        in
-        (totals, read ()))
+  let primary_totals, primary_stats, primary_cluster_fn, boundaries =
+    if materialize then begin
+      let robs, read =
+        Interval.vli_recorder ~n_blocks:primary_binary.Binary.n_blocks ~target
+          ~mappable:(Matching.is_mappable mappable)
+          ~cycles:(fun () -> Cpu.cycles primary_cpu)
+          ~extras:(fun () -> Cpu.extra_counters primary_cpu)
+          ()
+      in
+      let totals, (intervals, boundaries) =
+        Timing.time eng.eng_timing ~stage:Stage.Interval_collection
+          ~label:primary_label ~in_size:primary_binary.Binary.n_blocks
+          ~out_size:(fun (t, _) -> t.Executor.insts)
+          (fun () ->
+            let totals =
+              Executor.run primary_binary input
+                (Executor.compose [ robs; Cpu.observer primary_cpu ])
+            in
+            (totals, read ()))
+      in
+      ( totals,
+        Streamprof.stats_of_intervals intervals,
+        (fun ~sp_config -> cluster ~sp_config intervals),
+        boundaries )
+    end
+    else begin
+      let col =
+        Streamprof.create ~sp_config
+          ~n_blocks:primary_binary.Binary.n_blocks ()
+      in
+      let robs, finish =
+        Interval.vli_recorder_stream
+          ~n_blocks:primary_binary.Binary.n_blocks ~target
+          ~mappable:(Matching.is_mappable mappable)
+          ~cycles:(fun () -> Cpu.cycles primary_cpu)
+          ~extras:(fun () -> Cpu.extra_counters primary_cpu)
+          ~emit:(Streamprof.emit col) ()
+      in
+      let totals, boundaries =
+        Timing.time eng.eng_timing ~stage:Stage.Interval_collection
+          ~label:primary_label ~in_size:primary_binary.Binary.n_blocks
+          ~out_size:(fun (t, _) -> t.Executor.insts)
+          (fun () ->
+            let totals =
+              Executor.run primary_binary input
+                (Executor.compose [ robs; Cpu.observer primary_cpu ])
+            in
+            let (_ : int), boundaries = finish () in
+            (totals, boundaries))
+      in
+      ( totals,
+        Streamprof.stats col,
+        (fun ~sp_config -> cluster_streamed ~sp_config col),
+        boundaries )
+    end
   in
   let clustering =
-    timed_cluster eng ~label:primary_label ~sp_config primary_intervals
+    timed_cluster eng ~label:primary_label ~sp_config
+      ~n_intervals:(Array.length primary_stats) primary_cluster_fn
   in
   let primary_result =
     timed_summarize eng ~label:primary_label
       ~config:primary_binary.Binary.config
       ~truth:(measure_truth primary_totals primary_cpu)
       ~counter_names:(Cpu.extra_counter_names primary_cpu) ~clustering
-      primary_intervals
+      primary_stats
   in
   (* Steps 5-6: map boundaries into every binary (free: they are
      (marker, count) pairs) and recompute weights per binary.  Follower
@@ -423,34 +533,40 @@ let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
         else begin
           let label = job_label program binary.Binary.config ~kind:"vli" in
           let cpu = Cpu.create ?config:cache_config () in
-          let fobs, read_follow =
-            Interval.vli_follower ~boundaries
+          (* Followers collect no BBVs, so streaming them is pure stats
+             collection; the materialized variant is retained only for
+             the differential test's sake. *)
+          let col = Streamprof.create_stats_only () in
+          let fobs, finish =
+            Interval.vli_follower_stream ~boundaries
               ~cycles:(fun () -> Cpu.cycles cpu)
               ~extras:(fun () -> Cpu.extra_counters cpu)
-              ()
+              ~emit:(Streamprof.emit col) ()
           in
-          let totals, intervals =
+          let totals =
             Timing.time eng.eng_timing ~stage:Stage.Interval_collection ~label
               ~in_size:binary.Binary.n_blocks
-              ~out_size:(fun (t, _) -> t.Executor.insts)
+              ~out_size:(fun t -> t.Executor.insts)
               (fun () ->
                 let totals =
                   Executor.run binary input
                     (Executor.compose [ fobs; Cpu.observer cpu ])
                 in
-                (totals, read_follow ()))
+                let (_ : int) = finish () in
+                totals)
           in
-          if Array.length intervals <> Array.length primary_intervals then
+          let stats = Streamprof.stats col in
+          if Array.length stats <> Array.length primary_stats then
             invalid_arg
               (Printf.sprintf
                  "Pipeline.run_vli: interval count diverged across binaries \
                   (%s: %d intervals vs primary's %d)"
                  (Config.label binary.Binary.config)
-                 (Array.length intervals)
-                 (Array.length primary_intervals));
+                 (Array.length stats)
+                 (Array.length primary_stats));
           timed_summarize eng ~label ~config:binary.Binary.config
             ~truth:(measure_truth totals cpu)
-            ~counter_names:(Cpu.extra_counter_names cpu) ~clustering intervals
+            ~counter_names:(Cpu.extra_counter_names cpu) ~clustering stats
         end)
       (List.mapi (fun i b -> (i, b)) binaries)
   in
@@ -526,11 +642,18 @@ let run_sampling ?(sp_config = Simpoint.default_config) ?cache_config ?engine
         in
         let truth = measure_truth totals cpu in
         (* The k-means phases double as the SimPoint baseline (via the
-           usual summarize) and as one of the stratifications. *)
-        let clustering = timed_cluster eng ~label ~sp_config intervals in
+           usual summarize) and as one of the stratifications.  Sampling
+           keeps the materialized pass: the strata builders below need
+           every interval's BBV for the access-mix proxy. *)
+        let clustering =
+          timed_cluster eng ~label ~sp_config
+            ~n_intervals:(Array.length intervals)
+            (fun ~sp_config -> cluster ~sp_config intervals)
+        in
         let sp =
           timed_summarize eng ~label ~config ~truth
-            ~counter_names:(Cpu.extra_counter_names cpu) ~clustering intervals
+            ~counter_names:(Cpu.extra_counter_names cpu) ~clustering
+            (Streamprof.stats_of_intervals intervals)
         in
         let insts =
           Array.map
@@ -627,29 +750,34 @@ let sampling_speedup result ~a ~b ~method_ ~seed =
 
 let replay ?cache_config (binary : Binary.t) ~input points =
   let cpu = Cpu.create ?config:cache_config () in
-  let fobs, read_follow =
-    Interval.vli_follower ~boundaries:points.pt_boundaries
+  (* A replay is a follower pass: boundaries come from the points file,
+     phases are fixed, and only scalar stats are consumed — so it streams
+     with zero BBV buffers. *)
+  let col = Streamprof.create_stats_only () in
+  let fobs, finish =
+    Interval.vli_follower_stream ~boundaries:points.pt_boundaries
       ~cycles:(fun () -> Cpu.cycles cpu)
       ~extras:(fun () -> Cpu.extra_counters cpu)
-      ()
+      ~emit:(Streamprof.emit col) ()
   in
   let totals =
     Executor.run binary input (Executor.compose [ fobs; Cpu.observer cpu ])
   in
-  let intervals = read_follow () in
-  if Array.length intervals <> Array.length points.pt_phase_of then
+  let (_ : int) = finish () in
+  let stats = Streamprof.stats col in
+  if Array.length stats <> Array.length points.pt_phase_of then
     invalid_arg
       (Printf.sprintf
          "Pipeline.replay: points do not match this (program, input): replay \
           produced %d intervals, the points file has %d phase labels"
-         (Array.length intervals)
+         (Array.length stats)
          (Array.length points.pt_phase_of));
   let clustering =
     { cl_phase_of = points.pt_phase_of; cl_reps = points.pt_reps;
       cl_n_phases = Array.length points.pt_reps }
   in
   summarize ~config:binary.Binary.config ~truth:(measure_truth totals cpu)
-    ~counter_names:(Cpu.extra_counter_names cpu) ~clustering intervals
+    ~counter_names:(Cpu.extra_counter_names cpu) ~clustering stats
 
 let find_binary results ~label =
   List.find (fun r -> Config.label r.br_config = label) results

@@ -131,12 +131,26 @@ val profile_stats : engine -> int * int
 val run_fli :
   ?sp_config:Cbsp_simpoint.Simpoint.config ->
   ?cache_config:Cbsp_cache.Hierarchy.config ->
+  ?materialize:bool ->
   ?engine:engine ->
   Cbsp_source.Ast.program ->
   configs:Cbsp_compiler.Config.t list ->
   input:Cbsp_source.Input.t ->
   target:int ->
   fli_result
+(** [materialize] (default false) selects the profile-memory regime and
+    nothing else — results are bit-identical either way:
+
+    - [false] (streaming): each interval is consumed by a
+      {!Streamprof} collector the moment the builder emits it — its
+      scalars kept, its BBV normalized and projected in place — so a
+      pass holds O(1 interval) of profile memory (the
+      [profile.scratch_intervals] gauge reads 2: the builder's
+      accumulator plus the collector's normalization scratch),
+      independent of run length;
+    - [true] (the pre-streaming behaviour): all intervals are
+      materialized as an array first, then clustered.  The gauge grows
+      with run length.  Retained as the differential-test reference. *)
 
 val run_vli :
   ?sp_config:Cbsp_simpoint.Simpoint.config ->
@@ -144,6 +158,7 @@ val run_vli :
   ?match_options:Matching.options ->
   ?primary:int ->
   ?static:bool ->
+  ?materialize:bool ->
   ?engine:engine ->
   Cbsp_source.Ast.program ->
   configs:Cbsp_compiler.Config.t list ->
@@ -151,6 +166,10 @@ val run_vli :
   target:int ->
   vli_result
 (** [primary] defaults to 0 (the first configuration).
+
+    [materialize] (default false) is {!run_fli}'s switch applied to the
+    primary recorder pass; follower passes carry no BBVs and always
+    stream.  Streaming and materialized runs are bit-identical.
 
     [static] (default false) replaces steps 1-2 with the static
     mappability prover ({!Cbsp_analysis.Prover}): profiles are computed

@@ -1,0 +1,94 @@
+module Interval = Cbsp_profile.Interval
+module Simpoint = Cbsp_simpoint.Simpoint
+module Projection = Cbsp_simpoint.Projection
+module Stats = Cbsp_util.Stats
+
+type stat = { st_insts : int; st_cycles : float; st_extras : float array }
+
+let stat_of_interval (iv : Interval.interval) =
+  { st_insts = iv.Interval.insts; st_cycles = iv.Interval.cycles;
+    st_extras = Array.copy iv.Interval.extras }
+
+let stats_of_intervals = Array.map stat_of_interval
+
+(* Minimal growable vector — amortized-O(1) push, exact-length extract.
+   The stdlib has no resizable array and the profile layers cannot know
+   interval counts up front. *)
+type 'a vec = { mutable data : 'a array; mutable len : int }
+
+let vec_create () = { data = [||]; len = 0 }
+
+let vec_push v x =
+  if v.len = Array.length v.data then begin
+    let grown = Array.make (max 16 (2 * v.len)) x in
+    Array.blit v.data 0 grown 0 v.len;
+    v.data <- grown
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let vec_to_array v = Array.sub v.data 0 v.len
+
+(* What the collector keeps per interval: the scalar stats every summary
+   reads, and — only for live, BBV-carrying intervals — the PROJECTED
+   point (out_dim floats), never the full-width BBV.  One normalization
+   scratch buffer is the collector's entire full-width footprint. *)
+type t = {
+  projection : Projection.t option;
+  norm_scratch : float array;
+  c_stats : stat vec;
+  c_live_idx : int vec;
+  c_weights : float vec;
+  c_points : float array vec;
+}
+
+let create ~sp_config ~n_blocks () =
+  (* The pass's acc scratch plus this collector's normalization scratch
+     are the two full-width buffers a streaming run ever holds. *)
+  Interval.note_scratch_peak 2;
+  { projection = Some (Simpoint.projection_for ~config:sp_config ~in_dim:n_blocks ());
+    norm_scratch = Array.make n_blocks 0.0;
+    c_stats = vec_create (); c_live_idx = vec_create ();
+    c_weights = vec_create (); c_points = vec_create () }
+
+let create_stats_only () =
+  { projection = None; norm_scratch = [||]; c_stats = vec_create ();
+    c_live_idx = vec_create (); c_weights = vec_create ();
+    c_points = vec_create () }
+
+(* Valid as an [Interval.emit]: everything retained is copied or derived
+   before the call returns.  Normalize-then-project per live interval in
+   emission order performs exactly the operations (in exactly the order)
+   of the materialized path's [Array.map Stats.normalize] +
+   [Projection.apply_all], so the collected points are bit-identical to
+   what clustering over materialized BBVs would see. *)
+let emit t (iv : Interval.interval) =
+  let idx = t.c_stats.len in
+  vec_push t.c_stats (stat_of_interval iv);
+  match t.projection with
+  | Some projection when iv.Interval.insts > 0 ->
+    Stats.normalize_into iv.Interval.bbv t.norm_scratch;
+    let point = Array.make (Projection.out_dim projection) 0.0 in
+    Projection.project_into projection t.norm_scratch point;
+    vec_push t.c_live_idx idx;
+    vec_push t.c_weights (float_of_int iv.Interval.insts);
+    vec_push t.c_points point
+  | _ -> ()
+
+let stats t = vec_to_array t.c_stats
+
+let n_intervals t = t.c_stats.len
+
+type cluster_inputs = {
+  ci_live_idx : int array;
+  ci_weights : float array;
+  ci_points : float array array;
+}
+
+let cluster_inputs t =
+  match t.projection with
+  | None -> invalid_arg "Streamprof.cluster_inputs: stats-only collector"
+  | Some _ ->
+    { ci_live_idx = vec_to_array t.c_live_idx;
+      ci_weights = vec_to_array t.c_weights;
+      ci_points = vec_to_array t.c_points }

@@ -1,0 +1,51 @@
+(** Streaming profile collector: the consumer side of the streaming
+    interval builders.
+
+    A collector is an {!Interval.emit} that keeps, per interval, only the
+    scalar stats every summary reads ([insts], [cycles], [extras]) and —
+    for live BBV-carrying intervals — the normalized-then-projected
+    clustering point ([out_dim] ≈ 15 floats).  Its only full-width
+    (n_blocks-long) buffer is one normalization scratch, so a whole pass
+    runs in O(1 interval) of profile memory where materializing held
+    O(run length).
+
+    Bit-identity: normalization and projection are per-interval pure and
+    applied in emission order, so the collected weights and points are
+    bit-identical to materializing all BBVs and running
+    [Array.map Stats.normalize] + {!Projection.apply_all} — the
+    equivalence {!Pipeline}'s differential test checks on the whole
+    registry. *)
+
+type stat = { st_insts : int; st_cycles : float; st_extras : float array }
+(** The per-interval scalars summaries consume. *)
+
+val stat_of_interval : Cbsp_profile.Interval.interval -> stat
+(** Copies [extras] (the emitted interval's arrays are scratch). *)
+
+val stats_of_intervals : Cbsp_profile.Interval.interval array -> stat array
+
+type t
+
+val create : sp_config:Cbsp_simpoint.Simpoint.config -> n_blocks:int -> unit -> t
+(** A collector that also gathers clustering inputs, projecting with
+    exactly the matrix {!Cbsp_simpoint.Simpoint.pick} would build
+    ({!Cbsp_simpoint.Simpoint.projection_for}). *)
+
+val create_stats_only : unit -> t
+(** For passes without BBVs (VLI followers): stats only. *)
+
+val emit : t -> Cbsp_profile.Interval.interval -> unit
+(** Feed one emitted interval.  Pass [emit t] as the builder's [~emit]. *)
+
+val stats : t -> stat array
+
+val n_intervals : t -> int
+
+type cluster_inputs = {
+  ci_live_idx : int array;     (** Live interval index per point. *)
+  ci_weights : float array;    (** Instruction counts of live intervals. *)
+  ci_points : float array array;  (** Projected points, emission order. *)
+}
+
+val cluster_inputs : t -> cluster_inputs
+(** @raise Invalid_argument on a stats-only collector. *)

@@ -1,5 +1,6 @@
 module Marker = Cbsp_compiler.Marker
 module Executor = Cbsp_exec.Executor
+module Metrics = Cbsp_obs.Metrics
 
 type interval = {
   insts : int;
@@ -10,30 +11,53 @@ type interval = {
 
 type boundary = { bd_key : Marker.key; bd_count : int }
 
+type emit = interval -> unit
+
 let cpi interval =
   if interval.insts = 0 then invalid_arg "Interval.cpi: empty interval";
   interval.cycles /. float_of_int interval.insts
 
+(* The memory-model gauge: peak number of full-width (n_blocks-wide) BBV
+   buffers held by any single profiling pass — scratch plus retained
+   copies.  Streaming passes stay at a small constant; materializing
+   passes report interval-count + 1, which is exactly the regression the
+   suite-smoke CI budget catches.  The max update is racy across domains
+   (two passes may interleave reads), which can only ever under-report by
+   one concurrent pass's peak — fine for a budget gate. *)
+let m_scratch = lazy (Metrics.gauge "profile.scratch_intervals")
+
+let note_scratch_peak n =
+  let g = Lazy.force m_scratch in
+  if n > Metrics.gauge_value g then Metrics.set g n
+
 (* Shared accumulator: current-interval instruction count, optional BBV,
-   and the cycle baseline for delta sampling. *)
+   and the cycle baseline for delta sampling.  Completed intervals leave
+   through [emit]; the emitted interval's [bbv] and [extras] alias
+   internal scratch buffers that are overwritten at the next cut, so a
+   consumer that retains them must copy (the materializing readers
+   below do). *)
 type acc = {
   collect_bbv : bool;
   n_blocks : int;
   cycles : unit -> float;
   extras : unit -> float array;
+  emit : emit;
   mutable cur_insts : int;
-  mutable cur_bbv : float array;
+  cur_bbv : float array;
+  mutable extras_scratch : float array;
   mutable cycle_base : float;
   mutable extras_base : float array;
-  mutable done_rev : interval list;
-  mutable finalized : interval array option;
+  mutable n_emitted : int;
+  mutable finished : bool;
 }
 
 let make_acc ?(cycles = fun () -> 0.0) ?(extras = fun () -> [||]) ~collect_bbv
-    ~n_blocks () =
-  { collect_bbv; n_blocks; cycles; extras; cur_insts = 0;
+    ~n_blocks ~emit () =
+  { collect_bbv; n_blocks; cycles; extras; emit;
+    cur_insts = 0;
     cur_bbv = (if collect_bbv then Array.make n_blocks 0.0 else [||]);
-    cycle_base = 0.0; extras_base = extras (); done_rev = []; finalized = None }
+    extras_scratch = [||]; cycle_base = 0.0; extras_base = extras ();
+    n_emitted = 0; finished = false }
 
 let acc_block acc id insts =
   acc.cur_insts <- acc.cur_insts + insts;
@@ -43,33 +67,38 @@ let acc_block acc id insts =
 let acc_cut acc =
   let now = acc.cycles () in
   let extras_now = acc.extras () in
-  let interval =
+  let n_extras = Array.length extras_now in
+  if Array.length acc.extras_scratch <> n_extras then
+    acc.extras_scratch <- Array.make n_extras 0.0;
+  for i = 0 to n_extras - 1 do
+    acc.extras_scratch.(i) <- extras_now.(i) -. acc.extras_base.(i)
+  done;
+  acc.emit
     { insts = acc.cur_insts; cycles = now -. acc.cycle_base;
-      extras = Array.mapi (fun i v -> v -. acc.extras_base.(i)) extras_now;
-      bbv = acc.cur_bbv }
-  in
-  acc.done_rev <- interval :: acc.done_rev;
+      extras = acc.extras_scratch; bbv = acc.cur_bbv };
   acc.cur_insts <- 0;
-  acc.cur_bbv <- (if acc.collect_bbv then Array.make acc.n_blocks 0.0 else [||]);
+  if acc.collect_bbv then Array.fill acc.cur_bbv 0 acc.n_blocks 0.0;
   acc.cycle_base <- now;
-  acc.extras_base <- extras_now
+  acc.extras_base <- extras_now;
+  acc.n_emitted <- acc.n_emitted + 1
 
 (* The trailing interval is always emitted, even when empty: recorder and
    follower must agree that a run with B boundaries has exactly B+1
    intervals, or phase labels would shift between binaries whose suffix
    after the last boundary happens to be empty in one and not another. *)
-let acc_finalize acc =
-  match acc.finalized with
-  | Some arr -> arr
-  | None ->
+let acc_finish acc =
+  if not acc.finished then begin
     acc_cut acc;
-    let arr = Array.of_list (List.rev acc.done_rev) in
-    acc.finalized <- Some arr;
-    arr
+    acc.finished <- true;
+    note_scratch_peak (if acc.collect_bbv then 1 else 0)
+  end;
+  acc.n_emitted
 
-let fli_observer ~n_blocks ~target ?cycles ?extras () =
+(* --- streaming builders ------------------------------------------------ *)
+
+let fli_stream ~n_blocks ~target ?cycles ?extras ~emit () =
   if target <= 0 then invalid_arg "Interval.fli_observer: target must be positive";
-  let acc = make_acc ?cycles ?extras ~collect_bbv:true ~n_blocks () in
+  let acc = make_acc ?cycles ?extras ~collect_bbv:true ~n_blocks ~emit () in
   let obs =
     { Executor.null_observer with
       Executor.on_block =
@@ -78,11 +107,11 @@ let fli_observer ~n_blocks ~target ?cycles ?extras () =
           if acc.cur_insts >= target then acc_cut acc;
           acc_block acc id insts) }
   in
-  (obs, fun () -> acc_finalize acc)
+  (obs, fun () -> acc_finish acc)
 
-let vli_recorder ~n_blocks ~target ~mappable ?cycles ?extras () =
+let vli_recorder_stream ~n_blocks ~target ~mappable ?cycles ?extras ~emit () =
   if target <= 0 then invalid_arg "Interval.vli_recorder: target must be positive";
-  let acc = make_acc ?cycles ?extras ~collect_bbv:true ~n_blocks () in
+  let acc = make_acc ?cycles ?extras ~collect_bbv:true ~n_blocks ~emit () in
   let key_counts = Marker.Table.create 256 in
   let boundaries_rev = ref [] in
   let obs =
@@ -106,16 +135,17 @@ let vli_recorder ~n_blocks ~target ~mappable ?cycles ?extras () =
             end
           end) }
   in
-  let read () =
-    (acc_finalize acc, Array.of_list (List.rev !boundaries_rev))
+  let finish () =
+    let n = acc_finish acc in
+    (n, Array.of_list (List.rev !boundaries_rev))
   in
-  (obs, read)
+  (obs, finish)
 
-let vli_follower ?n_blocks ~boundaries ?cycles ?extras () =
+let vli_follower_stream ?n_blocks ~boundaries ?cycles ?extras ~emit () =
   let collect_bbv, n_blocks =
     match n_blocks with Some n -> (true, n) | None -> (false, 0)
   in
-  let acc = make_acc ?cycles ?extras ~collect_bbv ~n_blocks () in
+  let acc = make_acc ?cycles ?extras ~collect_bbv ~n_blocks ~emit () in
   let key_counts = Marker.Table.create 256 in
   let next = ref 0 in
   let total = Array.length boundaries in
@@ -141,13 +171,80 @@ let vli_follower ?n_blocks ~boundaries ?cycles ?extras () =
             end
           end) }
   in
-  let read () =
+  let finish () =
     if !next < total then
       invalid_arg
         (Printf.sprintf
            "Interval.vli_follower: only %d of %d boundaries reached — \
             boundaries do not belong to this (program, input)"
            !next total);
-    acc_finalize acc
+    acc_finish acc
+  in
+  (obs, finish)
+
+(* --- materializing wrappers -------------------------------------------- *)
+
+(* Copy each emitted interval out of the scratch buffers and collect; the
+   values are bit-identical to what the pre-streaming accumulator built
+   (same fills, same increments, same delta order).  [copies] counts
+   retained full-width BBVs so the materialized path shows up honestly in
+   the scratch gauge. *)
+let collector () =
+  let done_rev = ref [] in
+  let copies = ref 0 in
+  let emit iv =
+    if Array.length iv.bbv > 0 then incr copies;
+    done_rev :=
+      { iv with bbv = Array.copy iv.bbv; extras = Array.copy iv.extras }
+      :: !done_rev
+  in
+  let collect () =
+    (* +1 for the scratch buffer that was live alongside the copies. *)
+    if !copies > 0 then note_scratch_peak (!copies + 1);
+    Array.of_list (List.rev !done_rev)
+  in
+  (emit, collect)
+
+let memoized f =
+  let cache = ref None in
+  fun () ->
+    match !cache with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      cache := Some v;
+      v
+
+let fli_observer ~n_blocks ~target ?cycles ?extras () =
+  let emit, collect = collector () in
+  let obs, finish = fli_stream ~n_blocks ~target ?cycles ?extras ~emit () in
+  let read =
+    memoized (fun () ->
+        let (_ : int) = finish () in
+        collect ())
+  in
+  (obs, read)
+
+let vli_recorder ~n_blocks ~target ~mappable ?cycles ?extras () =
+  let emit, collect = collector () in
+  let obs, finish =
+    vli_recorder_stream ~n_blocks ~target ~mappable ?cycles ?extras ~emit ()
+  in
+  let read =
+    memoized (fun () ->
+        let (_ : int), boundaries = finish () in
+        (collect (), boundaries))
+  in
+  (obs, read)
+
+let vli_follower ?n_blocks ~boundaries ?cycles ?extras () =
+  let emit, collect = collector () in
+  let obs, finish =
+    vli_follower_stream ?n_blocks ~boundaries ?cycles ?extras ~emit ()
+  in
+  let read =
+    memoized (fun () ->
+        let (_ : int) = finish () in
+        collect ())
   in
   (obs, read)

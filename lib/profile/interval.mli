@@ -23,7 +23,26 @@
 
     All builders accept an optional [cycles] thunk (typically reading a
     cache simulator running in the same pass) sampled at each cut, so each
-    interval knows its simulated cycle count. *)
+    interval knows its simulated cycle count.
+
+    Each builder comes in two forms.  The {e streaming} form
+    ({!fli_stream}, {!vli_recorder_stream}, {!vli_follower_stream}) emits
+    every completed interval through an [emit] callback as soon as it is
+    cut; the emitted interval's [bbv] and [extras] arrays alias a single
+    pre-allocated scratch buffer that is zeroed and reused for the next
+    interval, so a whole run costs O(1 interval) of profile memory and a
+    consumer that retains an interval must copy those arrays.  The
+    {e materializing} form ({!fli_observer}, {!vli_recorder},
+    {!vli_follower}) is a thin wrapper that copies each emitted interval
+    and returns the full array — same floats, bit for bit, as the
+    streaming emissions (the scratch reuse performs the identical fills
+    and increments a fresh allocation would).
+
+    Peak scratch usage is tracked in the [profile.scratch_intervals]
+    gauge: the largest number of full-width (n_blocks-long) BBV buffers
+    any single pass held at once.  Streaming passes report 1; a
+    materializing pass over n intervals reports n + 1 — which is how the
+    suite-smoke CI budget catches accidental materialization. *)
 
 type interval = {
   insts : int;        (** Instructions in this interval. *)
@@ -45,6 +64,57 @@ type boundary = {
 
 val cpi : interval -> float
 (** [cycles / insts].  @raise Invalid_argument on an empty interval. *)
+
+type emit = interval -> unit
+(** Streaming consumer.  The interval argument is only valid for the
+    duration of the call: its [bbv] and [extras] alias scratch buffers
+    overwritten at the next cut.  Copy anything you keep. *)
+
+val note_scratch_peak : int -> unit
+(** Raise the [profile.scratch_intervals] gauge to [n] if it is below —
+    for consumers (e.g. the streaming cluster collector) that hold
+    full-width BBV scratch of their own beyond what the builders here
+    account for. *)
+
+(** {1 Streaming builders} *)
+
+val fli_stream :
+  n_blocks:int ->
+  target:int ->
+  ?cycles:(unit -> float) ->
+  ?extras:(unit -> float array) ->
+  emit:emit ->
+  unit ->
+  Cbsp_exec.Executor.observer * (unit -> int)
+(** Streaming fixed-length intervals.  The finisher emits the trailing
+    interval (idempotently) and returns the total interval count.
+    @raise Invalid_argument if [target <= 0]. *)
+
+val vli_recorder_stream :
+  n_blocks:int ->
+  target:int ->
+  mappable:(Cbsp_compiler.Marker.key -> bool) ->
+  ?cycles:(unit -> float) ->
+  ?extras:(unit -> float array) ->
+  emit:emit ->
+  unit ->
+  Cbsp_exec.Executor.observer * (unit -> int * boundary array)
+(** Streaming VLI recorder.  The finisher returns (interval count,
+    boundaries); the count is always [Array.length boundaries + 1]. *)
+
+val vli_follower_stream :
+  ?n_blocks:int ->
+  boundaries:boundary array ->
+  ?cycles:(unit -> float) ->
+  ?extras:(unit -> float array) ->
+  emit:emit ->
+  unit ->
+  Cbsp_exec.Executor.observer * (unit -> int)
+(** Streaming boundary replay.  The finisher raises [Invalid_argument]
+    (with the reached/expected boundary counts) if the run ended before
+    every boundary was met. *)
+
+(** {1 Materializing builders} *)
 
 val fli_observer :
   n_blocks:int ->

@@ -4,7 +4,13 @@
     dimensions — which makes k-means slow and distance concentration
     worse.  SimPoint projects to ~15 dimensions with a random matrix;
     by the Johnson-Lindenstrauss property, pairwise distances (all
-    clustering ever looks at) are approximately preserved. *)
+    clustering ever looks at) are approximately preserved.
+
+    The matrix is a flat row-major float64 [Bigarray] — one unboxed
+    block, cache-friendly rows, no bounds checks on the hot path — but
+    the draw order matches the historical array-of-rows fill, so a given
+    seed produces the same matrix (and the same projected points) bit
+    for bit as before the rewrite. *)
 
 type t
 
@@ -18,11 +24,15 @@ val out_dim : t -> int
 val apply : t -> float array -> float array
 (** @raise Invalid_argument if the vector's length is not [in_dim]. *)
 
-val apply_into : t -> float array -> float array -> unit
-(** [apply_into t v out] projects [v] into the caller-provided buffer
-    [out] (overwritten), avoiding the per-call allocation of {!apply}.
+val project_into : t -> float array -> float array -> unit
+(** [project_into t v out] projects [v] into the caller-provided buffer
+    [out] (overwritten), avoiding the per-call allocation of {!apply} —
+    the streaming collector's hot loop.
     @raise Invalid_argument if [v] is not [in_dim] long or [out] is not
     [out_dim] long. *)
+
+val apply_into : t -> float array -> float array -> unit
+(** Alias of {!project_into} (historical name). *)
 
 val apply_all : ?jobs:int -> t -> float array array -> float array array
 (** Project every row, filling a pre-allocated output matrix in place.

@@ -54,18 +54,13 @@ let early_reps (result : Kmeans.result) ~points ~tolerance =
     points;
   reps
 
-let pick ?(config = default_config) ~weights ~bbvs () =
-  let n = Array.length bbvs in
+let pick_projected ?(config = default_config) ~weights ~points () =
+  let n = Array.length points in
   if n = 0 then invalid_arg "Simpoint.pick: no intervals";
   if Array.length weights <> n then invalid_arg "Simpoint.pick: weights mismatch";
   Array.iter
     (fun w -> if w <= 0.0 then invalid_arg "Simpoint.pick: non-positive weight")
     weights;
-  let normalized = Array.map Stats.normalize bbvs in
-  let in_dim = Array.length bbvs.(0) in
-  let out_dim = min config.dims in_dim in
-  let projection = Projection.create ~seed:config.seed ~in_dim ~out_dim in
-  let points = Projection.apply_all ~jobs:config.jobs projection normalized in
   let max_k = min config.max_k n in
   (* Memoized clustering per k, so the two search strategies share code. *)
   let cache = Hashtbl.create 16 in
@@ -137,6 +132,21 @@ let pick ?(config = default_config) ~weights ~bbvs () =
     |> List.sort compare
   in
   { k = Array.length points_arr; phase_of; points = points_arr; bic_scores }
+
+(* The projection a streaming collector must reproduce to feed
+   [pick_projected] points bit-identical to what [pick] would compute. *)
+let projection_for ?(config = default_config) ~in_dim () =
+  Projection.create ~seed:config.seed ~in_dim
+    ~out_dim:(min config.dims in_dim)
+
+let pick ?(config = default_config) ~weights ~bbvs () =
+  let n = Array.length bbvs in
+  if n = 0 then invalid_arg "Simpoint.pick: no intervals";
+  if Array.length weights <> n then invalid_arg "Simpoint.pick: weights mismatch";
+  let normalized = Array.map Stats.normalize bbvs in
+  let projection = projection_for ~config ~in_dim:(Array.length bbvs.(0)) () in
+  let points = Projection.apply_all ~jobs:config.jobs projection normalized in
+  pick_projected ~config ~weights ~points ()
 
 let estimate t ~metric_of_rep =
   let acc = ref 0.0 in

@@ -65,6 +65,21 @@ val pick :
     BBV must have a positive sum (callers exclude empty intervals).
     @raise Invalid_argument otherwise. *)
 
+val pick_projected :
+  ?config:config -> weights:float array -> points:float array array -> unit -> t
+(** Everything {!pick} does after projection: BIC-searched clustering
+    over already-projected points.  The streaming profile path projects
+    each interval as it is emitted (via {!projection_for} and
+    {!Projection.project_into}) and feeds the retained points here —
+    because normalization and projection are per-interval pure, the
+    result is bit-identical to materializing the BBVs and calling
+    {!pick}.  @raise Invalid_argument as {!pick}. *)
+
+val projection_for : ?config:config -> in_dim:int -> unit -> Projection.t
+(** The exact projection {!pick} would build for [in_dim]-long BBVs
+    (seeded from [config.seed], output dimension [min config.dims
+    in_dim]) — what a streaming collector must apply to match it. *)
+
 val estimate : t -> metric_of_rep:(int -> float) -> float
 (** The SimPoint extrapolation (step 6): the weighted average of a metric
     measured on each representative interval, e.g. CPI. *)

@@ -206,12 +206,25 @@ let normalize xs =
   if total = 0.0 then invalid_arg "Stats.normalize: zero sum";
   Array.map (fun x -> x /. total) xs
 
+(* Same per-element division in the same (ascending) order as [normalize],
+   so the filled buffer is bit-identical to a fresh [normalize] result —
+   the streaming profile path relies on that equivalence. *)
+let normalize_into xs out =
+  let n = Array.length xs in
+  if Array.length out <> n then
+    invalid_arg "Stats.normalize_into: length mismatch";
+  let total = sum xs in
+  if total = 0.0 then invalid_arg "Stats.normalize: zero sum";
+  for i = 0 to n - 1 do
+    Array.unsafe_set out i (Array.unsafe_get xs i /. total)
+  done
+
 let sq_distance a b =
   let n = Array.length a in
   if Array.length b <> n then invalid_arg "Stats.sq_distance: length mismatch";
   let acc = ref 0.0 in
   for i = 0 to n - 1 do
-    let d = a.(i) -. b.(i) in
+    let d = Array.unsafe_get a i -. Array.unsafe_get b i in
     acc := !acc +. (d *. d)
   done;
   !acc

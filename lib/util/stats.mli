@@ -55,6 +55,12 @@ val sum : float array -> float
 val normalize : float array -> float array
 (** Scale so elements sum to 1.  @raise Invalid_argument if the sum is 0. *)
 
+val normalize_into : float array -> float array -> unit
+(** [normalize_into xs out] fills the caller-provided buffer [out] with
+    the normalized [xs], avoiding the per-call allocation of {!normalize};
+    the result is bit-identical to [normalize xs].
+    @raise Invalid_argument on length mismatch or zero sum. *)
+
 val sq_distance : float array -> float array -> float
 (** Squared Euclidean distance.  @raise Invalid_argument on length
     mismatch. *)

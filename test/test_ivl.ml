@@ -1,0 +1,259 @@
+(* The cbsp-ivl/1 codec: bit-exact round-trips for adversarial float
+   content, the streaming writer/reader pair, and the malformed-input
+   error paths (corrupt artifacts must raise contextual
+   Invalid_argument, never crash or silently misdecode). *)
+
+module Interval = Cbsp_profile.Interval
+module Ivl_file = Cbsp_profile.Ivl_file
+module Rng = Cbsp_util.Rng
+
+let iv ~insts ~cycles ~extras ~bbv = { Interval.insts; cycles; extras; bbv }
+
+let bits = Int64.bits_of_float
+
+(* Equality by IEEE-754 bits: distinguishes 0.0 from -0.0 and compares
+   NaNs by representation, which [=] on floats cannot. *)
+let check_bit_identical msg (a : Interval.interval array)
+    (b : Interval.interval array) =
+  Tutil.check_int (msg ^ ": interval count") (Array.length a) (Array.length b);
+  let check_floats what i xs ys =
+    Tutil.check_int (Printf.sprintf "%s: %s length @%d" msg what i)
+      (Array.length xs) (Array.length ys);
+    Array.iteri
+      (fun j x ->
+        if bits x <> bits ys.(j) then
+          Alcotest.failf "%s: %s differs at interval %d index %d (%h vs %h)"
+            msg what i j x ys.(j))
+      xs
+  in
+  Array.iteri
+    (fun i (x : Interval.interval) ->
+      let y = b.(i) in
+      Tutil.check_int (Printf.sprintf "%s: insts @%d" msg i) x.Interval.insts
+        y.Interval.insts;
+      if bits x.Interval.cycles <> bits y.Interval.cycles then
+        Alcotest.failf "%s: cycles differ at interval %d" msg i;
+      check_floats "extras" i x.Interval.extras y.Interval.extras;
+      check_floats "bbv" i x.Interval.bbv y.Interval.bbv)
+    a
+
+let roundtrip ~n_blocks intervals =
+  Ivl_file.decode (Ivl_file.encode ~n_blocks intervals)
+
+let min_denormal = Int64.float_of_bits 1L
+
+let test_roundtrip_simple () =
+  let intervals =
+    [| iv ~insts:1000 ~cycles:1500.0 ~extras:[| 3.0; 0.0 |]
+         ~bbv:[| 500.0; 0.0; 500.0; 0.0 |];
+       iv ~insts:250 ~cycles:260.5 ~extras:[| 0.0; 7.0 |]
+         ~bbv:[| 0.0; 250.0; 0.0; 0.0 |] |]
+  in
+  check_bit_identical "simple" intervals (roundtrip ~n_blocks:4 intervals)
+
+let test_roundtrip_all_zero_bbv () =
+  (* Trailing empty intervals: zero instructions, all-zero BBV. *)
+  let intervals =
+    [| iv ~insts:0 ~cycles:0.0 ~extras:[| 0.0 |] ~bbv:(Array.make 16 0.0) |]
+  in
+  check_bit_identical "all-zero" intervals (roundtrip ~n_blocks:16 intervals)
+
+let test_roundtrip_adversarial_floats () =
+  (* Every escape-path case: denormals, negative zero, negatives,
+     non-integral, huge magnitudes, infinities and a NaN — all must
+     survive by bits. *)
+  let nasty =
+    [| min_denormal; Float.min_float; -0.0; -1.0; 0.1; 1.0e300;
+       2.0 ** 61.0; Float.infinity; Float.neg_infinity; Float.nan;
+       4096.0; 0.0 |]
+  in
+  let intervals =
+    [| iv ~insts:max_int ~cycles:(-0.0)
+         ~extras:[| min_denormal; Float.nan; -3.5 |]
+         ~bbv:nasty |]
+  in
+  check_bit_identical "adversarial" intervals
+    (roundtrip ~n_blocks:(Array.length nasty) intervals)
+
+let test_roundtrip_huge_sparse () =
+  (* A 200k-block BBV with three occupied slots: the sparse index-delta
+     encoding must stay exact (and small) at large dimensions. *)
+  let n_blocks = 200_000 in
+  let bbv = Array.make n_blocks 0.0 in
+  bbv.(0) <- 17.0;
+  bbv.(123_456) <- 0.25;
+  bbv.(n_blocks - 1) <- 1.0e9;
+  let intervals = [| iv ~insts:42 ~cycles:84.0 ~extras:[||] ~bbv |] in
+  let encoded = Ivl_file.encode ~n_blocks intervals in
+  Tutil.check_bool "sparse encoding is compact (not O(n_blocks))" true
+    (String.length encoded < 256);
+  check_bit_identical "huge sparse" intervals (Ivl_file.decode encoded)
+
+let test_roundtrip_empty_profile () =
+  check_bit_identical "empty" [||] (roundtrip ~n_blocks:8 [||])
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode ∘ decode = id (random profiles)" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let n_blocks = 1 + Rng.int rng ~bound:60 in
+      let n_extras = Rng.int rng ~bound:4 in
+      let n_ivl = Rng.int rng ~bound:12 in
+      let value () =
+        match Rng.int rng ~bound:8 with
+        | 0 -> 0.0
+        | 1 -> float_of_int (Rng.int rng ~bound:1_000_000)
+        | 2 -> Rng.float rng
+        | 3 -> -.Rng.float rng
+        | 4 -> min_denormal *. float_of_int (1 + Rng.int rng ~bound:1000)
+        | 5 -> -0.0
+        | 6 -> Rng.float rng *. 1.0e300
+        | _ -> float_of_int (Rng.int rng ~bound:100)
+      in
+      let intervals =
+        Array.init n_ivl (fun _ ->
+            iv ~insts:(Rng.int rng ~bound:1_000_000)
+              ~cycles:(value ())
+              ~extras:(Array.init n_extras (fun _ -> value ()))
+              ~bbv:
+                (Array.init n_blocks (fun _ ->
+                     if Rng.int rng ~bound:3 = 0 then value () else 0.0)))
+      in
+      let decoded = roundtrip ~n_blocks intervals in
+      Array.length decoded = Array.length intervals
+      && Array.for_all2
+           (fun (x : Interval.interval) (y : Interval.interval) ->
+             x.Interval.insts = y.Interval.insts
+             && bits x.Interval.cycles = bits y.Interval.cycles
+             && Array.map bits x.Interval.extras
+                = Array.map bits y.Interval.extras
+             && Array.map bits x.Interval.bbv = Array.map bits y.Interval.bbv)
+           intervals decoded)
+
+let fixture_intervals =
+  [| iv ~insts:100 ~cycles:120.0 ~extras:[| 5.0 |]
+       ~bbv:[| 60.0; 0.0; 40.0; 0.0; 0.0 |];
+     iv ~insts:80 ~cycles:95.5 ~extras:[| 2.0 |]
+       ~bbv:[| 0.0; 80.0; 0.0; 0.0; 0.0 |];
+     iv ~insts:0 ~cycles:0.0 ~extras:[| 0.0 |] ~bbv:(Array.make 5 0.0) |]
+
+let fixture_encoded = lazy (Ivl_file.encode ~n_blocks:5 fixture_intervals)
+
+let test_streaming_writer_matches_encode () =
+  (* The streaming writer fed one interval at a time must produce a file
+     [load] reads back bit-identically — it is a valid [Interval.emit]. *)
+  let path = Filename.temp_file "cbsp_ivl" ".ivl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let w = Ivl_file.writer ~path ~n_blocks:5 ~n_extras:1 in
+  Array.iter (Ivl_file.write w) fixture_intervals;
+  Ivl_file.close w;
+  Ivl_file.close w (* idempotent *);
+  check_bit_identical "writer/load" fixture_intervals (Ivl_file.load ~path);
+  (* and the fold-based reader sees the same records without inflating *)
+  let n, insts =
+    Ivl_file.read_fold ~path ~init:(0, 0) ~f:(fun (n, s) ivl ->
+        (n + 1, s + ivl.Interval.insts))
+  in
+  Tutil.check_int "read_fold count" 3 n;
+  Tutil.check_int "read_fold insts" 180 insts
+
+let test_decode_fold_scratch_reuse () =
+  (* decode_fold's intervals alias scratch buffers: retaining them
+     uncopied must show the LAST record's content, proving no per-record
+     allocation is happening behind the contract. *)
+  let encoded = Lazy.force fixture_encoded in
+  let kept = ref [] in
+  let n =
+    Ivl_file.decode_fold encoded ~init:0 ~f:(fun n ivl ->
+        kept := ivl.Interval.bbv :: !kept;
+        n + 1)
+  in
+  Tutil.check_int "fold count" 3 n;
+  match !kept with
+  | [ a; b; c ] ->
+    Tutil.check_bool "scratch BBV is shared across records" true
+      (a == b && b == c)
+  | _ -> Alcotest.fail "expected three folded records"
+
+(* --- malformed input: every failure is a contextual Invalid_argument *)
+
+let expect_ivl_error part f =
+  match f () with
+  | _ -> Alcotest.failf "expected Invalid_argument (%s)" part
+  | exception Invalid_argument msg ->
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    Tutil.check_bool
+      (Printf.sprintf "message has Ivl_file prefix: %S" msg)
+      true
+      (String.length msg >= 9 && String.sub msg 0 9 = "Ivl_file:");
+    Tutil.check_bool
+      (Printf.sprintf "message %S mentions %S" msg part)
+      true (contains msg part)
+
+let corrupt_at pos s =
+  let b = Bytes.of_string s in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5A));
+  Bytes.to_string b
+
+let test_error_bad_magic () =
+  let encoded = Lazy.force fixture_encoded in
+  expect_ivl_error "bad magic" (fun () ->
+      Ivl_file.decode (corrupt_at 0 encoded))
+
+let test_error_header_checksum () =
+  let encoded = Lazy.force fixture_encoded in
+  (* byte 11 is the first header varint, after the 11-byte magic *)
+  expect_ivl_error "checksum mismatch" (fun () ->
+      Ivl_file.decode (corrupt_at 11 encoded))
+
+let test_error_truncated () =
+  let encoded = Lazy.force fixture_encoded in
+  expect_ivl_error "truncated input" (fun () ->
+      Ivl_file.decode (String.sub encoded 0 (String.length encoded - 3)));
+  expect_ivl_error "truncated input" (fun () -> Ivl_file.decode "");
+  expect_ivl_error "truncated input" (fun () ->
+      Ivl_file.decode (String.sub encoded 0 20))
+
+let test_error_corrupt_payload () =
+  let encoded = Lazy.force fixture_encoded in
+  (* Flip one payload byte: decode must fail loudly — via a structural
+     check (tag, range, overflow) or, at the latest, the payload
+     checksum — never return plausible-looking data. *)
+  let ok = ref 0 in
+  for pos = 24 to String.length encoded - 1 do
+    match Ivl_file.decode (corrupt_at pos encoded) with
+    | _ -> incr ok
+    | exception Invalid_argument msg ->
+      if not (String.length msg >= 9 && String.sub msg 0 9 = "Ivl_file:") then
+        Alcotest.failf "uncontextual error %S at byte %d" msg pos
+  done;
+  Tutil.check_int "no single-byte corruption decodes silently" 0 !ok
+
+let test_error_ragged_input () =
+  expect_ivl_error "header declares" (fun () ->
+      Ivl_file.encode ~n_blocks:4
+        [| iv ~insts:1 ~cycles:1.0 ~extras:[||] ~bbv:(Array.make 3 0.0) |])
+
+let () =
+  Alcotest.run "ivl"
+    [ ( "roundtrip",
+        [ Tutil.quick "simple" test_roundtrip_simple;
+          Tutil.quick "all-zero bbv" test_roundtrip_all_zero_bbv;
+          Tutil.quick "adversarial floats" test_roundtrip_adversarial_floats;
+          Tutil.quick "huge sparse dims" test_roundtrip_huge_sparse;
+          Tutil.quick "empty profile" test_roundtrip_empty_profile;
+          Tutil.qcheck_case prop_roundtrip ] );
+      ( "streaming",
+        [ Tutil.quick "writer = encode" test_streaming_writer_matches_encode;
+          Tutil.quick "decode_fold scratch" test_decode_fold_scratch_reuse ] );
+      ( "errors",
+        [ Tutil.quick "bad magic" test_error_bad_magic;
+          Tutil.quick "header checksum" test_error_header_checksum;
+          Tutil.quick "truncation" test_error_truncated;
+          Tutil.quick "payload corruption" test_error_corrupt_payload;
+          Tutil.quick "ragged encode input" test_error_ragged_input ] ) ]

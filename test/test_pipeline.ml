@@ -254,6 +254,57 @@ let test_deterministic_pipelines () =
         a.Pipeline.br_est_cpi b.Pipeline.br_est_cpi)
     fli1.Pipeline.fli_binaries fli2.Pipeline.fli_binaries
 
+(* The streaming refactor's contract: [?materialize] flips only the
+   memory regime.  Differential over the WHOLE workload registry —
+   every field of every workload's VLI result (boundaries, phase
+   labels, representatives, weights, CPIs, extrapolated metrics) must
+   be structurally identical between the streaming default and the
+   materialized reference, which compares every float bit for bit. *)
+let test_streaming_equals_materialized_registry () =
+  List.iter
+    (fun (entry : Cbsp_workloads.Registry.entry) ->
+      let program = entry.Cbsp_workloads.Registry.build () in
+      let configs =
+        Config.paper_four
+          ~loop_splitting:entry.Cbsp_workloads.Registry.loop_splitting ()
+      in
+      let streamed = Pipeline.run_vli program ~configs ~input ~target:10_000 in
+      let materialized =
+        Pipeline.run_vli ~materialize:true program ~configs ~input
+          ~target:10_000
+      in
+      Tutil.check_bool
+        (entry.Cbsp_workloads.Registry.name ^ ": vli streaming = materialized")
+        true
+        (streamed = materialized))
+    Cbsp_workloads.Registry.all
+
+let test_streaming_equals_materialized_fli () =
+  let program = Tutil.two_phase_program () in
+  let streamed = Pipeline.run_fli program ~configs ~input ~target in
+  let materialized =
+    Pipeline.run_fli ~materialize:true program ~configs ~input ~target
+  in
+  Tutil.check_bool "fli streaming = materialized" true
+    (streamed = materialized)
+
+(* O(1 interval) memory: a streaming pass's full-width BBV buffers are
+   the builder's accumulator plus the collector's normalization scratch,
+   whatever the run length — the [profile.scratch_intervals] gauge the
+   CI suite-smoke job budgets. *)
+let test_streaming_scratch_gauge () =
+  Cbsp_obs.Metrics.reset ();
+  let gauge = Cbsp_obs.Metrics.gauge "profile.scratch_intervals" in
+  ignore
+    (Pipeline.run_vli (Tutil.two_phase_program ()) ~configs ~input ~target);
+  Tutil.check_int "streaming VLI scratch peak" 2
+    (Cbsp_obs.Metrics.gauge_value gauge);
+  ignore
+    (Pipeline.run_vli ~materialize:true (Tutil.two_phase_program ()) ~configs
+       ~input ~target);
+  Tutil.check_bool "materialized peak grows with run length" true
+    (Cbsp_obs.Metrics.gauge_value gauge > 2)
+
 let () =
   Alcotest.run "pipeline"
     [ ( "structure",
@@ -268,6 +319,11 @@ let () =
           Tutil.quick "points wellformed" test_vli_points_wellformed;
           Tutil.quick "primary choice" test_primary_choice;
           Tutil.quick "split inflates intervals" test_split_program_large_intervals ] );
+      ( "streaming",
+        [ Tutil.quick "vli registry differential"
+            test_streaming_equals_materialized_registry;
+          Tutil.quick "fli differential" test_streaming_equals_materialized_fli;
+          Tutil.quick "scratch gauge" test_streaming_scratch_gauge ] );
       ( "validation",
         [ Tutil.quick "invalid primary" test_invalid_primary;
           Tutil.quick "empty configs" test_empty_configs;
