@@ -32,6 +32,7 @@ module Pipeline = Cbsp.Pipeline
 module Experiment = Cbsp_report.Experiment
 module Figures = Cbsp_report.Figures
 module Rng = Cbsp_util.Rng
+module Diskcache = Cbsp_engine.Diskcache
 
 let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
@@ -100,9 +101,11 @@ let projection_rows =
    fixtures change, and say so in the PR.
 
    The ivl/* and projection/project_into kernels are new with the
-   streaming-profile refactor; their baselines are the first recorded
-   measurements (same container, same quota), so their trajectory starts
-   at 1.0x by construction and any later change is relative to that. *)
+   streaming-profile refactor; the store/* kernels are new with the
+   sharded persistent artifact cache.  Their baselines are the first
+   recorded measurements (same container, same quota), so their
+   trajectory starts at 1.0x by construction and any later change is
+   relative to that. *)
 let seed_baseline_ns =
   [ ("exec/run_tiny", 114_905.0);
     ("exec/fli_pass_tiny", 153_686.0);
@@ -110,7 +113,9 @@ let seed_baseline_ns =
     ("projection/apply_400to15", 7_550.0);
     ("projection/project_into_400to15", 2_855.0);
     ("ivl/encode_64x400", 552_067.0);
-    ("ivl/decode_64x400", 360_872.0) ]
+    ("ivl/decode_64x400", 360_872.0);
+    ("store/persist_roundtrip", 4_243_560.0);
+    ("store/warm_lookup", 2_072_520.0) ]
 
 (* Codec fixture: a 64-interval profile with 400-block, two-thirds-sparse
    BBVs and four extra counters — instruction-weighted counts, so mostly
@@ -143,6 +148,28 @@ let sampling_population =
   in
   let proxy = Array.map (fun s -> float_of_int s /. 8.0) strata in
   (insts, cycles, strata, proxy)
+
+(* Artifact-cache fixture: a ~100 KB marshaled payload (the size class
+   of a memoized profile), round-tripped through a real on-disk shard
+   under /tmp.  [persist_roundtrip] pays encode + tmp-write + rename +
+   verified read-back; [warm_lookup] is the warm-start path — a verified
+   read of an already-published entry plus the Marshal decode. *)
+let store_cache =
+  lazy
+    (Diskcache.create
+       ~dir:
+         (Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "cbsp-bench-store-%d" (Unix.getpid ())))
+       ~shards:4 ~name:"bench" ())
+
+let store_payload =
+  Marshal.to_string (Array.init 12_000 (fun i -> float_of_int i *. 1.5)) []
+
+let store_warm_key = "bench-warm-entry"
+
+let store_warm_ready =
+  lazy (Diskcache.put (Lazy.force store_cache) ~key:store_warm_key store_payload)
 
 type kernel_spec = {
   ks_name : string;
@@ -229,6 +256,22 @@ let kernel_specs =
     kernel "ivl/decode_64x400"
       ~baseline:(List.assoc "ivl/decode_64x400" seed_baseline_ns)
       (fun () -> Ivl_file.decode ivl_encoded);
+    (* persistent artifact cache: publish + verified read-back of a
+       ~100 KB entry, and the warm-start lookup alone *)
+    kernel "store/persist_roundtrip"
+      ~baseline:(List.assoc "store/persist_roundtrip" seed_baseline_ns)
+      (fun () ->
+        let dc = Lazy.force store_cache in
+        Diskcache.put dc ~key:"bench-roundtrip" store_payload;
+        Diskcache.find dc ~key:"bench-roundtrip");
+    kernel "store/warm_lookup"
+      ~baseline:(List.assoc "store/warm_lookup" seed_baseline_ns)
+      (fun () ->
+        Lazy.force store_warm_ready;
+        let dc = Lazy.force store_cache in
+        match Diskcache.find dc ~key:store_warm_key with
+        | Some payload -> ignore (Marshal.from_string payload 0 : float array)
+        | None -> failwith "warm entry vanished");
     (* sampling estimators: cost of one estimate over a 2000-interval
        population (selection + ratio estimate + t-quantile CI), the
        per-run overhead `cbsp sample` pays on top of the profiling pass *)
@@ -363,23 +406,33 @@ let engine_comparison () =
 
 (* ------------------------------------------------------------------ *)
 (* bench --suite: the end-to-end benchmark of the streaming profile    *)
-(* data path — a registry-wide VLI run per memory regime.  The         *)
-(* materialized reference runs first and its metrics are read and      *)
-(* discarded, so the manifest's snapshot (and the CI gate reading it)  *)
-(* describes exactly the streaming run.                                *)
+(* data path — a registry-wide VLI run per memory regime.  Wall time   *)
+(* for identical code swings by ±10% between runs on shared            *)
+(* single-core boxes, which is larger than the real gap between the    *)
+(* two regimes, so the modes are run in alternation and the per-mode   *)
+(* minimum is reported — the standard noise-robust estimator for a     *)
+(* deterministic workload.  Each pass resets the metrics registry      *)
+(* first and the streaming mode always runs last, so the manifest's    *)
+(* snapshot (and the CI gate reading it) describes exactly a           *)
+(* streaming run.                                                      *)
 
 type suite_numbers = {
   sn_workloads : int;
   sn_target : int;
+  sn_passes : int;       (* alternating passes per mode; minima reported *)
   sn_stream_s : float;
   sn_stream_peak : int;  (* profile.scratch_intervals after streaming *)
   sn_mat_s : float;
   sn_mat_peak : int;     (* same gauge after the materialized reference *)
   sn_failed : int;       (* failed stage jobs in the streaming run *)
+  sn_cold_s : float;     (* streaming suite into an empty artifact cache *)
+  sn_warm_s : float;     (* same suite again, fresh engine, same cache *)
+  sn_warm_hits : int;    (* whole-result cache hits during the warm run *)
+  sn_bit_identical : bool;  (* warm results structurally = cold results *)
 }
 
 let suite_vli ~materialize ~names ~target ~input eng =
-  List.iter
+  List.map
     (fun name ->
       let entry = Cbsp_workloads.Registry.find name in
       let program = entry.Cbsp_workloads.Registry.build () in
@@ -387,9 +440,8 @@ let suite_vli ~materialize ~names ~target ~input eng =
         Config.paper_four
           ~loop_splitting:entry.Cbsp_workloads.Registry.loop_splitting ()
       in
-      ignore
-        (Pipeline.run_vli ~materialize ~engine:eng program ~configs ~input
-           ~target))
+      Pipeline.run_vli ~materialize ~engine:eng program ~configs ~input
+        ~target)
     names
 
 let suite_mode ~smoke =
@@ -406,21 +458,77 @@ let suite_mode ~smoke =
     Unix.gettimeofday () -. t0
   in
   let scratch = Cbsp_obs.Metrics.gauge "profile.scratch_intervals" in
-  Cbsp_obs.Metrics.reset ();
-  let mat_s =
-    timed (fun () ->
-        suite_vli ~materialize:true ~names ~target ~input
-          (Pipeline.create_engine ()))
-  in
-  let mat_peak = Cbsp_obs.Metrics.gauge_value scratch in
-  Cbsp_obs.Metrics.reset ();
-  let eng = Pipeline.create_engine () in
-  let stream_s =
-    timed (fun () -> suite_vli ~materialize:false ~names ~target ~input eng)
-  in
-  let stream_peak = Cbsp_obs.Metrics.gauge_value scratch in
-  let records = Pipeline.timings eng in
+  (* Smoke passes are short (~0.5 s), so their minima need more samples
+     to concentrate; full passes are long enough that three suffice. *)
+  let passes = if smoke then 5 else 3 in
+  (* One cheap untimed pass per mode first: the process's very first run
+     pays page faults and lazy initialization, and whichever mode goes
+     first would absorb them into its minimum. *)
+  let warmup = [ List.hd names ] in
+  ignore
+    (suite_vli ~materialize:true ~names:warmup ~target:1_000 ~input
+       (Pipeline.create_engine ()));
+  ignore
+    (suite_vli ~materialize:false ~names:warmup ~target:1_000 ~input
+       (Pipeline.create_engine ()));
+  let mat_s = ref infinity and stream_s = ref infinity in
+  let mat_peak = ref 0 and stream_peak = ref 0 in
+  let last_stream_records = ref [] in
+  for _ = 1 to passes do
+    Cbsp_obs.Metrics.reset ();
+    let t =
+      timed (fun () ->
+          ignore
+            (suite_vli ~materialize:true ~names ~target ~input
+               (Pipeline.create_engine ())))
+    in
+    mat_s := Float.min !mat_s t;
+    mat_peak := Cbsp_obs.Metrics.gauge_value scratch;
+    Cbsp_obs.Metrics.reset ();
+    let eng = Pipeline.create_engine () in
+    let t =
+      timed (fun () ->
+          ignore (suite_vli ~materialize:false ~names ~target ~input eng))
+    in
+    stream_s := Float.min !stream_s t;
+    stream_peak := Cbsp_obs.Metrics.gauge_value scratch;
+    last_stream_records := Pipeline.timings eng
+  done;
+  let mat_s = !mat_s and stream_s = !stream_s in
+  let mat_peak = !mat_peak and stream_peak = !stream_peak in
+  let records = !last_stream_records in
   let failed = List.length (Cbsp_engine.Timing.failures records) in
+  (* Cold vs warm: the same streaming suite into a fresh persistent
+     artifact cache, then once more from a fresh engine over the same
+     directory — the restart scenario.  The warm pass must be served
+     from the whole-result cache (hits > 0) and reproduce the cold
+     results bit for bit. *)
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cbsp-bench-cache-%d" (Unix.getpid ()))
+  in
+  let cold_results = ref [] in
+  let cold_s =
+    timed (fun () ->
+        cold_results :=
+          suite_vli ~materialize:false ~names ~target ~input
+            (Pipeline.create_engine ~cache_dir ()))
+  in
+  let warm_results = ref [] in
+  let warm_eng = Pipeline.create_engine ~cache_dir () in
+  let warm_s =
+    timed (fun () ->
+        warm_results :=
+          suite_vli ~materialize:false ~names ~target ~input warm_eng)
+  in
+  let warm_hits =
+    match Pipeline.result_stats warm_eng with
+    | Some (_, hits) -> hits
+    | None -> 0
+  in
+  let bit_identical = !warm_results = !cold_results in
+  Fmt.pr "  (min of %d alternating passes per mode)@." passes;
   Fmt.pr "  %-44s %8.3f s  (scratch peak %d intervals)@."
     "materialized (pre-refactor array path)" mat_s mat_peak;
   Fmt.pr "  %-44s %8.3f s  (scratch peak %d intervals)@." "streaming"
@@ -428,6 +536,11 @@ let suite_mode ~smoke =
   Fmt.pr "  %-44s %8.2fx@." "streaming speedup vs materialized"
     (mat_s /. stream_s);
   Fmt.pr "  %-44s %8d@." "failed stage jobs (streaming)" failed;
+  Fmt.pr "  %-44s %8.3f s@." "cold (streaming into empty artifact cache)"
+    cold_s;
+  Fmt.pr "  %-44s %8.3f s  (%.2fx vs cold, %d result hits, %s)@."
+    "warm (fresh engine, same cache)" warm_s (cold_s /. warm_s) warm_hits
+    (if bit_identical then "bit-identical" else "RESULTS DIFFER");
   Cbsp_obs.Manifest.write ~argv:(Array.to_list Sys.argv) ~tool:"bench-suite"
     ~config:
       [ ("workloads", string_of_int (List.length names));
@@ -438,8 +551,11 @@ let suite_mode ~smoke =
     ~path:"bench-suite-manifest.json" ();
   Fmt.pr "@.wrote bench-suite-manifest.json@.@.";
   { sn_workloads = List.length names; sn_target = target;
+    sn_passes = passes;
     sn_stream_s = stream_s; sn_stream_peak = stream_peak; sn_mat_s = mat_s;
-    sn_mat_peak = mat_peak; sn_failed = failed }
+    sn_mat_peak = mat_peak; sn_failed = failed; sn_cold_s = cold_s;
+    sn_warm_s = warm_s; sn_warm_hits = warm_hits;
+    sn_bit_identical = bit_identical }
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
@@ -523,6 +639,7 @@ let write_kernels_json ~path ~mode ?suite rows =
     Printf.fprintf oc "  \"suite\": {\n";
     Printf.fprintf oc "    \"workloads\": %d,\n    \"target\": %d,\n"
       sn.sn_workloads sn.sn_target;
+    Printf.fprintf oc "    \"passes_per_mode\": %d,\n" sn.sn_passes;
     Printf.fprintf oc
       "    \"streaming\": { \"seconds\": %s, \"scratch_peak_intervals\": %d },\n"
       (json_float sn.sn_stream_s) sn.sn_stream_peak;
@@ -532,7 +649,15 @@ let write_kernels_json ~path ~mode ?suite rows =
       (json_float sn.sn_mat_s) sn.sn_mat_peak;
     Printf.fprintf oc "    \"speedup_vs_materialized\": %s,\n"
       (json_float (sn.sn_mat_s /. sn.sn_stream_s));
-    Printf.fprintf oc "    \"failed_stages\": %d },\n" sn.sn_failed);
+    Printf.fprintf oc "    \"failed_stages\": %d,\n" sn.sn_failed;
+    Printf.fprintf oc "    \"cold\": { \"seconds\": %s },\n"
+      (json_float sn.sn_cold_s);
+    Printf.fprintf oc
+      "    \"warm\": { \"seconds\": %s, \"speedup_vs_cold\": %s, \
+       \"result_hits\": %d, \"bit_identical\": %b } },\n"
+      (json_float sn.sn_warm_s)
+      (json_float (sn.sn_cold_s /. sn.sn_warm_s))
+      sn.sn_warm_hits sn.sn_bit_identical);
   Printf.fprintf oc "  \"kernels\": [";
   List.iteri
     (fun i spec ->
@@ -574,6 +699,10 @@ let write_kernels_json ~path ~mode ?suite rows =
   Printf.fprintf oc "\n  ]\n}\n"
 
 let kernel_mode ~path ~smoke ?suite () =
+  (* Shard directory creation and the warm entry's publication are
+     one-time fixture setup, not part of the measured kernels. *)
+  ignore (Lazy.force store_cache : Diskcache.t);
+  Lazy.force store_warm_ready;
   let quota_s, limit = if smoke then (0.01, 5) else (0.5, 2000) in
   Fmt.pr "=== Hot-kernel benchmarks (%s mode) ===@."
     (if smoke then "smoke" else "full");
@@ -632,7 +761,20 @@ let () =
         recorded in one BENCH_kernels.json. *)
      let path = Option.value !json ~default:"BENCH_kernels.json" in
      let numbers = suite_mode ~smoke:!smoke in
-     kernel_mode ~path ~smoke:!smoke ~suite:numbers ()
+     kernel_mode ~path ~smoke:!smoke ~suite:numbers ();
+     (* Regression gates (CI runs --suite --smoke): streaming must not
+        fall behind the materialized reference, and a warm cache must
+        reproduce the cold results exactly. *)
+     if not numbers.sn_bit_identical then begin
+       Fmt.epr "GATE: warm-cache results differ from cold results@.";
+       exit 1
+     end;
+     if !smoke && numbers.sn_mat_s /. numbers.sn_stream_s < 0.95 then begin
+       Fmt.epr
+         "GATE: streaming suite regressed to %.3fx of materialized (< 0.95)@."
+         (numbers.sn_mat_s /. numbers.sn_stream_s);
+       exit 1
+     end
    end
    else
      match !json with

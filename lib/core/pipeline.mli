@@ -105,15 +105,41 @@ val default_target : int
     Omitting [?engine] creates a fresh sequential engine per call —
     exactly the seed behaviour. *)
 
+type result_caches = {
+  rc_fli : fli_result Cbsp_engine.Store.t;
+  rc_vli : vli_result Cbsp_engine.Store.t;
+}
+(** Whole-result stores, present only on engines created with
+    [?cache_dir]: {!run_fli}/{!run_vli} through such an engine memoize
+    (and persist) the entire result keyed by everything that determines
+    it, so a warm process answers repeat requests without touching the
+    executor.  Engines without a persistent cache never use this layer
+    — in particular the differential tests' fresh engines. *)
+
 type engine = {
   eng_jobs : int;  (** Scheduler width; 1 = sequential. *)
   eng_binaries : Cbsp_compiler.Binary.t Cbsp_engine.Store.t;
   eng_profiles : Cbsp_profile.Structprof.t Cbsp_engine.Store.t;
+  eng_results : result_caches option;
   eng_timing : Cbsp_engine.Timing.sink;
 }
 
-val create_engine : ?jobs:int -> unit -> engine
-(** [jobs] defaults to 1 (sequential); values below 1 are clamped to 1. *)
+val create_engine :
+  ?jobs:int -> ?cache_dir:string -> ?cache_budget:int -> unit -> engine
+(** [jobs] defaults to 1 (sequential); values below 1 are clamped to 1.
+
+    With [cache_dir], every store (binaries, profiles, and the
+    whole-result caches) gets a sharded persistent
+    {!Cbsp_engine.Diskcache} under that directory ([binaries/],
+    [profiles/], [results-fli/], [results-vli/]), each LRU-bounded by
+    [cache_budget] bytes (default 256 MiB): a second process pointed at
+    the same directory warm-starts from disk, and concurrent processes
+    coalesce identical computes via the cache's lock files. *)
+
+val fork_engine : engine -> engine
+(** A per-request view: shares the artifact stores (and their disk
+    layers) but gets a fresh timing sink, so concurrent server requests
+    share caches while keeping per-request stage reports. *)
 
 val timings : engine -> Cbsp_engine.Timing.record list
 (** Every job record accumulated so far, in canonical (stage, label)
@@ -127,6 +153,11 @@ val profile_stats : engine -> int * int
 (** [(computes, hits)] of the structure-profile store — with
     [run_vli ~static:true], [computes] stays at zero whenever the static
     prover decided every candidate marker. *)
+
+val result_stats : engine -> (int * int) option
+(** [(computes, hits)] summed over the whole-result caches, or [None]
+    when the engine has none.  [hits > 0] is the coalescing/warm-start
+    signal: a request was answered without running the pipeline. *)
 
 val run_fli :
   ?sp_config:Cbsp_simpoint.Simpoint.config ->
@@ -143,11 +174,11 @@ val run_fli :
 
     - [false] (streaming): each interval is consumed by a
       {!Streamprof} collector the moment the builder emits it — its
-      scalars kept, its BBV normalized and projected in place — so a
-      pass holds O(1 interval) of profile memory (the
-      [profile.scratch_intervals] gauge reads 2: the builder's
-      accumulator plus the collector's normalization scratch),
-      independent of run length;
+      scalars kept, its BBV normalized into a small chunk buffer and
+      projected chunk-at-a-time — so a pass holds O(1 interval) of
+      profile memory (the [profile.scratch_intervals] gauge reads the
+      builder's accumulator plus the collector's projection chunk, 9
+      rows today), independent of run length;
     - [true] (the pre-streaming behaviour): all intervals are
       materialized as an array first, then clustered.  The gauge grows
       with run length.  Retained as the differential-test reference. *)

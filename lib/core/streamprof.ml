@@ -29,13 +29,26 @@ let vec_push v x =
 
 let vec_to_array v = Array.sub v.data 0 v.len
 
+(* Projection is batched over small chunks of normalized BBVs rather
+   than run per interval: projecting interleaved with the executor
+   evicts the projection matrix (out_dim * in_dim floats) from cache
+   between interval cuts, which is exactly the overhead that made the
+   streaming suite trail the materialized one.  Buffering [chunk_size]
+   normalized rows and projecting them back-to-back keeps the matrix
+   hot across the chunk while leaving every per-interval float
+   operation — and therefore every result bit — unchanged: each row is
+   normalized at emission time into its own buffer and projected later
+   with the same inputs in the same ascending order. *)
+let chunk_size = 8
+
 (* What the collector keeps per interval: the scalar stats every summary
    reads, and — only for live, BBV-carrying intervals — the PROJECTED
-   point (out_dim floats), never the full-width BBV.  One normalization
-   scratch buffer is the collector's entire full-width footprint. *)
+   point (out_dim floats), never the full-width BBV.  The chunk rows
+   are the collector's entire full-width footprint. *)
 type t = {
   projection : Projection.t option;
-  norm_scratch : float array;
+  chunk_rows : float array array;  (* chunk_size full-width rows *)
+  mutable chunk_fill : int;        (* rows normalized, not yet projected *)
   c_stats : stat vec;
   c_live_idx : int vec;
   c_weights : float vec;
@@ -43,36 +56,51 @@ type t = {
 }
 
 let create ~sp_config ~n_blocks () =
-  (* The pass's acc scratch plus this collector's normalization scratch
-     are the two full-width buffers a streaming run ever holds. *)
-  Interval.note_scratch_peak 2;
+  (* The pass's acc scratch plus this collector's chunk rows are the
+     full-width buffers a streaming run ever holds. *)
+  Interval.note_scratch_peak (chunk_size + 1);
   { projection = Some (Simpoint.projection_for ~config:sp_config ~in_dim:n_blocks ());
-    norm_scratch = Array.make n_blocks 0.0;
+    chunk_rows = Array.init chunk_size (fun _ -> Array.make n_blocks 0.0);
+    chunk_fill = 0;
     c_stats = vec_create (); c_live_idx = vec_create ();
     c_weights = vec_create (); c_points = vec_create () }
 
 let create_stats_only () =
-  { projection = None; norm_scratch = [||]; c_stats = vec_create ();
-    c_live_idx = vec_create (); c_weights = vec_create ();
-    c_points = vec_create () }
+  { projection = None; chunk_rows = [||]; chunk_fill = 0;
+    c_stats = vec_create (); c_live_idx = vec_create ();
+    c_weights = vec_create (); c_points = vec_create () }
+
+(* Project the buffered rows in emission order.  Identical operations to
+   projecting each at its own emission: rows are disjoint buffers and
+   [project_into] reads nothing but its row. *)
+let flush t =
+  match t.projection with
+  | None -> ()
+  | Some projection ->
+    let out_dim = Projection.out_dim projection in
+    for s = 0 to t.chunk_fill - 1 do
+      let point = Array.make out_dim 0.0 in
+      Projection.project_into projection t.chunk_rows.(s) point;
+      vec_push t.c_points point
+    done;
+    t.chunk_fill <- 0
 
 (* Valid as an [Interval.emit]: everything retained is copied or derived
-   before the call returns.  Normalize-then-project per live interval in
-   emission order performs exactly the operations (in exactly the order)
-   of the materialized path's [Array.map Stats.normalize] +
-   [Projection.apply_all], so the collected points are bit-identical to
-   what clustering over materialized BBVs would see. *)
+   before the call returns.  Normalizing at emission time and projecting
+   chunk-batched performs exactly the operations (in exactly the order,
+   per interval) of the materialized path's [Array.map Stats.normalize]
+   + [Projection.apply_all], so the collected points are bit-identical
+   to what clustering over materialized BBVs would see. *)
 let emit t (iv : Interval.interval) =
   let idx = t.c_stats.len in
   vec_push t.c_stats (stat_of_interval iv);
   match t.projection with
-  | Some projection when iv.Interval.insts > 0 ->
-    Stats.normalize_into iv.Interval.bbv t.norm_scratch;
-    let point = Array.make (Projection.out_dim projection) 0.0 in
-    Projection.project_into projection t.norm_scratch point;
+  | Some _ when iv.Interval.insts > 0 ->
+    Stats.normalize_into iv.Interval.bbv t.chunk_rows.(t.chunk_fill);
+    t.chunk_fill <- t.chunk_fill + 1;
     vec_push t.c_live_idx idx;
     vec_push t.c_weights (float_of_int iv.Interval.insts);
-    vec_push t.c_points point
+    if t.chunk_fill = chunk_size then flush t
   | _ -> ()
 
 let stats t = vec_to_array t.c_stats
@@ -89,6 +117,7 @@ let cluster_inputs t =
   match t.projection with
   | None -> invalid_arg "Streamprof.cluster_inputs: stats-only collector"
   | Some _ ->
+    flush t;
     { ci_live_idx = vec_to_array t.c_live_idx;
       ci_weights = vec_to_array t.c_weights;
       ci_points = vec_to_array t.c_points }

@@ -4,10 +4,12 @@
     A collector is an {!Interval.emit} that keeps, per interval, only the
     scalar stats every summary reads ([insts], [cycles], [extras]) and —
     for live BBV-carrying intervals — the normalized-then-projected
-    clustering point ([out_dim] ≈ 15 floats).  Its only full-width
-    (n_blocks-long) buffer is one normalization scratch, so a whole pass
-    runs in O(1 interval) of profile memory where materializing held
-    O(run length).
+    clustering point ([out_dim] ≈ 15 floats).  Its full-width
+    (n_blocks-long) buffers are the {!chunk_size} normalization rows
+    over which projection is batched (keeping the projection matrix
+    cache-hot instead of re-fetching it every interval cut), so a whole
+    pass runs in O(1 interval) of profile memory where materializing
+    held O(run length).
 
     Bit-identity: normalization and projection are per-interval pure and
     applied in emission order, so the collected weights and points are
@@ -25,6 +27,11 @@ val stat_of_interval : Cbsp_profile.Interval.interval -> stat
 val stats_of_intervals : Cbsp_profile.Interval.interval array -> stat array
 
 type t
+
+val chunk_size : int
+(** Normalized rows buffered between projection batches (8).  A
+    streaming pass's scratch peak is [chunk_size + 1] full-width
+    buffers: these rows plus the builder's accumulator. *)
 
 val create : sp_config:Cbsp_simpoint.Simpoint.config -> n_blocks:int -> unit -> t
 (** A collector that also gathers clustering inputs, projecting with

@@ -12,8 +12,19 @@
 
 type 'v t
 
-val create : ?name:string -> unit -> 'v t
-(** [name] labels the store in {!pp_stats} output (default ["store"]). *)
+val create : ?name:string -> ?disk:Diskcache.t -> unit -> 'v t
+(** [name] labels the store in {!pp_stats} output (default ["store"]).
+
+    With [disk], values also persist across processes: the owner of a
+    key consults the {!Diskcache} before computing, publishes the
+    [Marshal] encoding of a successful result after, and coalesces
+    identical in-flight computes across processes via the cache's
+    per-key lock files.  Values must therefore be marshal-able (pure
+    data — true of every artifact this codebase stores); a persisted
+    payload that fails to unmarshal is quarantined and recomputed, and
+    exceptions are never persisted. *)
+
+val disk : 'v t -> Diskcache.t option
 
 val digest : 'a -> string
 (** A content key: the MD5 digest of the value's [Marshal] encoding.
@@ -32,8 +43,16 @@ val computes : 'v t -> int
 (** Number of computations actually executed (cache misses). *)
 
 val hits : 'v t -> int
-(** Number of [find_or_compute] calls served from cache (including calls
-    that waited on an in-flight computation). *)
+(** Number of [find_or_compute] calls served from cache — in-memory
+    hits, waits on in-flight computations, and disk hits. *)
+
+val evictions : 'v t -> int
+(** Disk-cache evictions charged to this store (0 without [disk]). *)
+
+val quarantined : 'v t -> int
+(** Corrupt disk entries quarantined for this store (0 without
+    [disk]). *)
 
 val pp_stats : Format.formatter -> 'v t -> unit
-(** e.g. ["binaries: 4 computed, 4 hits"]. *)
+(** e.g. ["binaries: 4 computed, 4 hits"]; with a disk layer also
+    [", 3 disk hits, 1 evicted, 0 quarantined"]. *)

@@ -1,0 +1,78 @@
+(** The [cbsp-serve/1] wire protocol: one JSON object per line in each
+    direction.
+
+    Requests name an operation ([ping] / [metrics] / [points] /
+    [sample]), a tenant (for quotas) and, for the pipeline operations, a
+    workload from the registry plus its sizing knobs.  Responses echo
+    the operation under ["status": "ok"], or carry ["status": "error"]
+    with a [retriable] flag — [true] (queue shed, quota exhausted) means
+    "back off and retry", optionally after [retry_after_s]; [false]
+    means the request itself is invalid. *)
+
+val schema : string
+(** ["cbsp-serve/1"]. *)
+
+type points_req = {
+  p_workload : string;
+  p_method : [ `Fli | `Vli ];
+  p_target : int;
+  p_scale : int;
+  p_seed : int;
+  p_max_k : int;
+  p_static : bool;
+}
+
+type sample_req = {
+  s_workload : string;
+  s_target : int;
+  s_scale : int;
+  s_seed : int;
+  s_n : int;
+  s_level : float;
+}
+
+type request =
+  | Ping
+  | Metrics_req
+  | Points of points_req
+  | Sample of sample_req
+
+type parsed = { pr_tenant : string; pr_request : request }
+
+val default_tenant : string
+(** ["anonymous"] — used when a request names no tenant. *)
+
+val parse_request : string -> (parsed, string) result
+(** Parse one request line; [Error] is a human-readable reason suitable
+    for a non-retriable {!error_response}. *)
+
+val request_op : request -> string
+
+val json_of_request : tenant:string -> request -> Jsonx.t
+(** The client-side encoder; [parse_request] of its [to_string] is the
+    identity on the carried request. *)
+
+val response_base : op:string -> (string * Jsonx.t) list -> Jsonx.t
+
+val error_response :
+  ?retry_after_s:float -> retriable:bool -> string -> Jsonx.t
+
+val is_ok : Jsonx.t -> bool
+
+val is_retriable : Jsonx.t -> bool
+
+val json_of_vli :
+  workload:string -> elapsed_s:float -> Cbsp.Pipeline.vli_result -> Jsonx.t
+
+val json_of_fli :
+  workload:string -> elapsed_s:float -> Cbsp.Pipeline.fli_result -> Jsonx.t
+
+val json_of_sampling :
+  workload:string ->
+  elapsed_s:float ->
+  Cbsp.Pipeline.sampling_result ->
+  Jsonx.t
+
+val json_of_metrics_snapshot : Cbsp_obs.Metrics.item list -> Jsonx.t
+
+val pong : uptime_s:float -> Jsonx.t

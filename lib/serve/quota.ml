@@ -1,0 +1,63 @@
+(* Per-tenant token buckets.  One bucket per tenant name, created on
+   first sight; [rate] tokens/second refill up to [burst].  A request
+   costs one token; an empty bucket denies with the seconds until a
+   token accrues, which the server surfaces as a retriable error.
+
+   All buckets share one mutex: admission happens once per request and
+   the arithmetic is a handful of flops, so striping would buy nothing
+   here (unlike the artifact shards). *)
+
+module Metrics = Cbsp_obs.Metrics
+
+type bucket = { mutable b_tokens : float; mutable b_last : float }
+
+type t = {
+  q_rate : float;
+  q_burst : float;
+  q_mutex : Mutex.t;
+  q_buckets : (string, bucket) Hashtbl.t;
+  q_granted : Metrics.counter;
+  q_denied : Metrics.counter;
+}
+
+let create ~rate ~burst =
+  if rate <= 0.0 || burst <= 0.0 then
+    invalid_arg "Quota.create: rate and burst must be positive";
+  { q_rate = rate; q_burst = burst; q_mutex = Mutex.create ();
+    q_buckets = Hashtbl.create 16;
+    q_granted = Metrics.counter "serve.quota_granted";
+    q_denied = Metrics.counter "serve.quota_denied" }
+
+type decision = Granted | Denied of float  (* seconds until next token *)
+
+let admit ?(now = Unix.gettimeofday ()) t ~tenant =
+  Mutex.protect t.q_mutex (fun () ->
+      let b =
+        match Hashtbl.find_opt t.q_buckets tenant with
+        | Some b -> b
+        | None ->
+          let b = { b_tokens = t.q_burst; b_last = now } in
+          Hashtbl.add t.q_buckets tenant b;
+          b
+      in
+      (* Refill lazily; [max] guards against a caller-supplied clock
+         running backwards. *)
+      let elapsed = Float.max 0.0 (now -. b.b_last) in
+      b.b_tokens <- Float.min t.q_burst (b.b_tokens +. (elapsed *. t.q_rate));
+      b.b_last <- now;
+      if b.b_tokens >= 1.0 then begin
+        b.b_tokens <- b.b_tokens -. 1.0;
+        Metrics.incr t.q_granted;
+        Granted
+      end
+      else begin
+        Metrics.incr t.q_denied;
+        Denied ((1.0 -. b.b_tokens) /. t.q_rate)
+      end)
+
+let granted t = Metrics.value t.q_granted
+
+let denied t = Metrics.value t.q_denied
+
+let tenants t =
+  Mutex.protect t.q_mutex (fun () -> Hashtbl.length t.q_buckets)

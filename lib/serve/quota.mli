@@ -1,0 +1,27 @@
+(** Per-tenant token-bucket quotas for {!Server} admission control.
+
+    Buckets refill at [rate] tokens/second up to [burst]; a request
+    costs one token.  Tenants are created on first request.  Counters:
+    [serve.quota_granted] / [serve.quota_denied]. *)
+
+type t
+
+val create : rate:float -> burst:float -> t
+(** @raise Invalid_argument unless both are positive. *)
+
+type decision =
+  | Granted
+  | Denied of float
+      (** Seconds until the tenant accrues its next token — the
+          suggested client retry delay. *)
+
+val admit : ?now:float -> t -> tenant:string -> decision
+(** [now] (seconds, [Unix.gettimeofday] scale) is overridable for
+    tests. *)
+
+val granted : t -> int
+
+val denied : t -> int
+
+val tenants : t -> int
+(** Distinct tenants seen. *)

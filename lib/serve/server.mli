@@ -1,0 +1,68 @@
+(** The [cbsp serve] daemon: simulation points as a multi-tenant service.
+
+    One accepting domain feeds a bounded queue; [sv_workers] worker
+    domains drain it, each handling one connection at a time.  Admission
+    control is two-staged: a full queue sheds the connection immediately
+    with a retriable error (bounding queueing latency), and a per-tenant
+    token bucket ({!Quota}) rejects over-quota tenants with a
+    [retry_after_s] hint.
+
+    All workers share one {!Cbsp.Pipeline.engine} — concurrent identical
+    requests coalesce into a single compute via the engine's stores, and
+    with [sv_cache_dir] set the daemon warm-starts from (and persists
+    to) the sharded artifact cache.  Each request runs on a
+    {!Cbsp.Pipeline.fork_engine} view: shared stores, private timing
+    sink, so per-request manifests stay disjoint.
+
+    Metrics: [serve.queued], [serve.active], [serve.shed],
+    [serve.requests], [serve.errors], [serve.latency_seconds], plus the
+    quota and store series. *)
+
+type address = Unix_socket of string | Tcp of int  (** Loopback only. *)
+
+type config = {
+  sv_address : address;
+  sv_workers : int;        (** Worker domains (>= 1). *)
+  sv_queue_cap : int;      (** Accepted-but-unserved bound (>= 1). *)
+  sv_quota_rate : float;   (** Tokens/second per tenant. *)
+  sv_quota_burst : float;
+  sv_cache_dir : string option;
+      (** Persistent artifact cache root; [None] = memory only. *)
+  sv_cache_budget : int;   (** Per-store byte budget for the disk cache. *)
+  sv_jobs : int;           (** Scheduler width inside one request. *)
+  sv_max_target : int;     (** Clamp on requested interval sizes. *)
+  sv_max_scale : int;      (** Clamp on requested input scales. *)
+  sv_manifest_dir : string option;
+      (** Per-request manifests ([req-NNNNNN.json]) plus a final
+          [serve-manifest.json] on shutdown. *)
+}
+
+val default_config : address -> config
+(** 2 workers, queue 64, quota 50/s burst 100, no persistence, jobs 1,
+    max target 1M, max scale 8, no manifests. *)
+
+type t
+(** A running server (accept domain + workers). *)
+
+val start : config -> t
+(** Bind, spawn the domains, return immediately.  Replaces an existing
+    socket file.  @raise Invalid_argument on a nonsensical config;
+    [Unix.Unix_error] if the address cannot be bound. *)
+
+val stop : t -> unit
+(** Graceful drain: stop accepting, close the listener, serve everything
+    already queued, join all domains, write the final manifest.  Blocks
+    until done. *)
+
+val engine : t -> Cbsp.Pipeline.engine
+(** The shared engine (for tests: coalescing and cache counters). *)
+
+val requests : t -> int
+(** Requests that reached a worker so far. *)
+
+val shed : t -> int
+(** Connections refused at the queue. *)
+
+val run : config -> unit
+(** {!start}, then block until SIGTERM or SIGINT, then {!stop}.  The
+    drain is graceful: in-flight and queued requests complete. *)
