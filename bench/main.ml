@@ -33,6 +33,10 @@ module Experiment = Cbsp_report.Experiment
 module Figures = Cbsp_report.Figures
 module Rng = Cbsp_util.Rng
 module Diskcache = Cbsp_engine.Diskcache
+module Verrors = Cbsp_validate.Errors
+module Vtruth = Cbsp_validate.Truth
+module Vmatrix = Cbsp_validate.Matrix
+module Leaderboard = Cbsp_validate.Leaderboard
 
 let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
@@ -102,7 +106,8 @@ let projection_rows =
 
    The ivl/* and projection/project_into kernels are new with the
    streaming-profile refactor; the store/* kernels are new with the
-   sharded persistent artifact cache.  Their baselines are the first
+   sharded persistent artifact cache; validate/matrix_smoke is new with
+   the accuracy-gated validation harness.  Their baselines are the first
    recorded measurements (same container, same quota), so their
    trajectory starts at 1.0x by construction and any later change is
    relative to that. *)
@@ -115,7 +120,8 @@ let seed_baseline_ns =
     ("ivl/encode_64x400", 552_067.0);
     ("ivl/decode_64x400", 360_872.0);
     ("store/persist_roundtrip", 4_243_560.0);
-    ("store/warm_lookup", 2_072_520.0) ]
+    ("store/warm_lookup", 2_072_520.0);
+    ("validate/matrix_smoke", 6_936_000.0) ]
 
 (* Codec fixture: a 64-interval profile with 400-block, two-thirds-sparse
    BBVs and four extra counters — instruction-weighted counts, so mostly
@@ -148,6 +154,30 @@ let sampling_population =
   in
   let proxy = Array.map (fun s -> float_of_int s /. 8.0) strata in
   (insts, cycles, strata, proxy)
+
+(* Validation-harness fixture: synthetic estimate records at the full
+   matrix shape (21 workloads x 7 methods x 4 binaries).  The kernel
+   scores lib/validate itself — per-cell errors, truth table,
+   skip-and-count aggregation, ranking, cbsp-validate/1 serialization —
+   without the pipeline runs underneath (those are covered by the
+   paper-artifact benchmarks). *)
+let validate_fixture =
+  let labels = List.map Config.label (Config.paper_four ~loop_splitting:false ()) in
+  let rng = Rng.create ~seed:47 in
+  let record method_ label =
+    let insts = 50_000 + Rng.int rng ~bound:50_000 in
+    let cycles = float_of_int insts *. (1.2 +. Rng.float rng) in
+    let est = (cycles /. float_of_int insts) *. (0.95 +. (0.1 *. Rng.float rng)) in
+    { Pipeline.er_method = method_; er_label = label;
+      er_truth =
+        { Pipeline.t_insts = insts; t_cycles = cycles;
+          t_cpi = cycles /. float_of_int insts };
+      er_est_cpi = est; er_est_cycles = est *. float_of_int insts }
+  in
+  List.map
+    (fun w ->
+      (w, List.concat_map (fun m -> List.map (record m) labels) Vmatrix.methods))
+    (List.init 21 (Printf.sprintf "w%02d"))
 
 (* Artifact-cache fixture: a ~100 KB marshaled payload (the size class
    of a memoized profile), round-tripped through a real on-disk shard
@@ -287,7 +317,34 @@ let kernel_specs =
       (fun () ->
         let insts, cycles, strata, proxy = sampling_population in
         Sampler.stratified ~rng:(Rng.create ~seed:31) ~n:64 ~strata ~proxy
-          ~insts ~cycles ()) ]
+          ~insts ~cycles ());
+    (* validation harness: one full-shape matrix (21 workloads x 7
+       methods x 4 binaries + 4 pairs) scored, ranked and serialized as
+       cbsp-validate/1 — the post-pipeline overhead `cbsp validate` adds *)
+    kernel "validate/matrix_smoke"
+      ~baseline:(List.assoc "validate/matrix_smoke" seed_baseline_ns)
+      (fun () ->
+        let rows =
+          List.map
+            (fun (w, records) ->
+              { Vmatrix.w_name = w;
+                w_cells =
+                  Verrors.cpi_cells ~workload:w records
+                  @ Verrors.speedup_cells ~workload:w ~pairs:Vmatrix.pairs
+                      records;
+                w_truth = Vtruth.table records;
+                w_mismatches = Vtruth.mismatches records;
+                w_failed = [];
+                w_timings = [] })
+            validate_fixture
+        in
+        let matrix =
+          { Vmatrix.m_workloads = rows;
+            m_options = Vmatrix.default_options;
+            m_jobs = 1 }
+        in
+        let board = Leaderboard.build matrix in
+        Cbsp_json.Jsonx.to_string (Leaderboard.to_json matrix board)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Micro benchmarks                                                    *)

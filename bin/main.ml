@@ -543,6 +543,149 @@ let sample_cmd =
       $ timing_arg $ trace_arg $ manifest_arg)
 
 (* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+
+let validate_cmd =
+  let module Matrix = Cbsp_validate.Matrix in
+  let module Leaderboard = Cbsp_validate.Leaderboard in
+  let module Budgets = Cbsp_validate.Budgets in
+  let module Vreport = Cbsp_validate.Report in
+  let n_arg =
+    Arg.(value & opt int 64
+         & info [ "n" ]
+             ~doc:"Intervals each sampler simulates in detail per run.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 3
+         & info [ "seeds" ]
+             ~doc:"Number of sampling seeds per (binary, method); the \
+                   scored estimate is their mean.")
+  in
+  let level_arg =
+    Arg.(value & opt float 0.95
+         & info [ "level" ] ~doc:"Sampling confidence level.")
+  in
+  let json_arg =
+    let doc =
+      "Write the machine-readable cbsp-validate/1 leaderboard to $(docv) \
+       (default VALIDATE.json when the flag is given without a value)."
+    in
+    Arg.(value & opt ~vopt:(Some "VALIDATE.json") (some string) None
+         & info [ "json" ] ~docv:"PATH" ~doc)
+  in
+  let budget_arg =
+    Arg.(value & opt string "validate-budgets.json"
+         & info [ "budget-file" ] ~docv:"PATH"
+             ~doc:"cbsp-validate-budgets/1 file with the per-method error \
+                   limits; a breach makes the command exit 1.  Skipped \
+                   with a warning when the file does not exist.")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persistent sharded artifact cache root: compiles, \
+                   profiles and whole pipeline results are reused across \
+                   runs, so re-validating an unchanged tree is served \
+                   from disk.")
+  in
+  let smoke_arg =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Tiny CI preset: two workloads at a reduced scale, \
+                   target and sample size, judged against the budget \
+                   file's 'smoke' mode; implies --json=VALIDATE_smoke.json \
+                   unless --json is given.")
+  in
+  let run workloads target scale seed max_k n seeds level json budget_file
+      cache_dir smoke jobs timing trace manifest =
+    if n < 2 then begin
+      Fmt.epr "bad --n %d (need >= 2)@." n;
+      exit 2
+    end;
+    if seeds < 1 then begin
+      Fmt.epr "bad --seeds %d@." seeds;
+      exit 2
+    end;
+    if level <= 0.0 || level >= 1.0 then begin
+      Fmt.epr "bad --level %g (need 0 < level < 1)@." level;
+      exit 2
+    end;
+    let names, target, scale, n, seeds =
+      if smoke then
+        ((match workloads with
+          | None -> [ "gcc"; "apsi" ]
+          | Some ws -> workload_names (Some ws)),
+         min target 20_000, min scale 4, min n 24, min seeds 2)
+      else (workload_names workloads, target, scale, n, seeds)
+    in
+    let json =
+      match json with
+      | Some _ -> json
+      | None when smoke -> Some "VALIDATE_smoke.json"
+      | None -> None
+    in
+    let mode = if smoke then "smoke" else "full" in
+    let options =
+      { Matrix.mo_target = target; mo_scale = scale; mo_seed = seed;
+        mo_max_k = max_k; mo_level = level; mo_sample_n = n;
+        mo_sample_seeds = List.init seeds (fun i -> 2007 + i) }
+    in
+    let jobs = resolve_jobs jobs in
+    let timings = ref [] in
+    observed ~tool:"validate"
+      ~config:
+        [ ("workloads", String.concat "," names); ("mode", mode);
+          ("target", string_of_int target); ("scale", string_of_int scale);
+          ("seed", string_of_int seed); ("n", string_of_int n);
+          ("jobs", string_of_int jobs) ]
+      ~trace ~manifest
+      ~timings:(fun () -> !timings)
+    @@ fun () ->
+    let matrix =
+      Matrix.run ~options ~names ~jobs ?cache_dir
+        ~progress:(fun n -> Fmt.epr "validating %s...@." n)
+        ()
+    in
+    timings := Matrix.timings matrix;
+    let board = Leaderboard.build matrix in
+    Vreport.render matrix board ppf;
+    if timing then begin
+      Fmt.pr "@.Per-stage timing:@.";
+      Cbsp_engine.Timing.pp_report ppf !timings;
+      Fmt.pr "@."
+    end;
+    (match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Cbsp_json.Jsonx.to_string (Leaderboard.to_json ~mode matrix board));
+      output_char oc '\n';
+      close_out oc;
+      Fmt.epr "wrote %s@." path);
+    if Sys.file_exists budget_file then begin
+      let budgets = Budgets.load ~path:budget_file ~mode in
+      match Budgets.check budgets board with
+      | [] -> Fmt.pr "@.budgets: OK (%s mode, %s)@." mode budget_file
+      | breaches ->
+        Fmt.pr "@.";
+        Vreport.render_breaches breaches ppf;
+        Printf.ksprintf failwith "%d budget breach(es) against %s"
+          (List.length breaches) budget_file
+    end
+    else Fmt.epr "no budget file at %s; skipping the budget check@." budget_file
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Run the full validation matrix (workloads x binary pairs x \
+             methods), rank methods by accuracy against full-run truth, \
+             and enforce the checked-in error budgets")
+    Term.(
+      const run $ workloads_arg $ target_arg $ scale_arg $ seed_arg $ max_k_arg
+      $ n_arg $ seeds_arg $ level_arg $ json_arg $ budget_arg $ cache_dir_arg
+      $ smoke_arg $ jobs_arg $ timing_arg $ trace_arg $ manifest_arg)
+
+(* ------------------------------------------------------------------ *)
 (* ablation                                                            *)
 
 let ablation_cmd =
@@ -1005,7 +1148,8 @@ let serve_cmd =
 let request_cmd =
   let op_arg =
     Arg.(value & opt string "points"
-         & info [ "op" ] ~doc:"Operation: points, sample, metrics or ping.")
+         & info [ "op" ]
+             ~doc:"Operation: points, sample, validate, metrics or ping.")
   in
   let workload_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
@@ -1084,8 +1228,12 @@ let request_cmd =
         Sproto.Sample
           { Sproto.s_workload = need_workload (); s_target = target;
             s_scale = scale; s_seed = seed; s_n = n; s_level = level }
+      | "validate" ->
+        Sproto.Validate
+          { Sproto.v_workload = need_workload (); v_target = target;
+            v_scale = scale; v_seed = seed; v_max_k = max_k; v_n = n }
       | other ->
-        Fmt.epr "unknown op %S (points/sample/metrics/ping)@." other;
+        Fmt.epr "unknown op %S (points/sample/validate/metrics/ping)@." other;
         exit 2
     in
     if stress > 0 then begin
@@ -1137,7 +1285,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "cbsp" ~version:"1.0.0" ~doc)
     [ list_cmd; show_cmd; profile_cmd; run_cmd; experiment_cmd; sample_cmd;
-      ablation_cmd; phases_cmd; points_cmd; lint_cmd; dump_bbv_cmd; trace_cmd;
-      serve_cmd; request_cmd ]
+      validate_cmd; ablation_cmd; phases_cmd; points_cmd; lint_cmd;
+      dump_bbv_cmd; trace_cmd; serve_cmd; request_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

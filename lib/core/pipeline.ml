@@ -63,12 +63,49 @@ type vli_result = {
 
 let default_target = 100_000
 
+type sampler_run = { sr_seed : int; sr_estimate : Sampler.estimate }
+
+type method_runs = { mr_method : string; mr_runs : sampler_run list }
+
+type sampling_binary = {
+  sb_config : Config.t;
+  sb_truth : truth;
+  sb_sp_cpi : float;
+  sb_sp_error : float;
+  sb_sp_cost_insts : float;
+  sb_n_intervals : int;
+  sb_n_live : int;
+  sb_methods : method_runs list;
+}
+
+type sampling_result = {
+  smp_binaries : sampling_binary list;
+  smp_target : int;
+  smp_n : int;
+  smp_level : float;
+  smp_seeds : int list;
+}
+
+let sampling_methods = [ "srs"; "systematic"; "strat-phase"; "strat-mix" ]
+
+(* One (method, binary) estimate in a shape shared by every pipeline
+   flavor, so the validation harness can fold FLI, VLI and sampling
+   results through a single error computation. *)
+type estimate_record = {
+  er_method : string;
+  er_label : string;
+  er_truth : truth;
+  er_est_cpi : float;
+  er_est_cycles : float;
+}
+
 (* ------------------------------------------------------------------ *)
 (* The engine: scheduler width + artifact stores + timing sink.        *)
 
 type result_caches = {
   rc_fli : fli_result Store.t;
   rc_vli : vli_result Store.t;
+  rc_sampling : sampling_result Store.t;
 }
 
 type engine = {
@@ -95,7 +132,9 @@ let create_engine ?(jobs = 1) ?cache_dir ?(cache_budget = 256 * 1024 * 1024)
     match cache_dir with
     | None -> None
     | Some _ ->
-      Some { rc_fli = store "results-fli"; rc_vli = store "results-vli" }
+      Some
+        { rc_fli = store "results-fli"; rc_vli = store "results-vli";
+          rc_sampling = store "results-sampling" }
   in
   { eng_jobs = max 1 jobs;
     eng_binaries = store "binaries";
@@ -121,8 +160,10 @@ let result_stats eng =
   | None -> None
   | Some rc ->
     Some
-      ( Store.computes rc.rc_fli + Store.computes rc.rc_vli,
-        Store.hits rc.rc_fli + Store.hits rc.rc_vli )
+      ( Store.computes rc.rc_fli + Store.computes rc.rc_vli
+        + Store.computes rc.rc_sampling,
+        Store.hits rc.rc_fli + Store.hits rc.rc_vli
+        + Store.hits rc.rc_sampling )
 
 (* Artifacts are keyed by the content of everything that determines them:
    a compiled binary by (program, config), a structure profile by
@@ -660,40 +701,11 @@ let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
 (* Statistical sampling estimators: the third estimation method next   *)
 (* to FLI and VLI SimPoint, sharing the engine's memoized artifacts.   *)
 
-type sampler_run = { sr_seed : int; sr_estimate : Sampler.estimate }
-
-type method_runs = { mr_method : string; mr_runs : sampler_run list }
-
-type sampling_binary = {
-  sb_config : Config.t;
-  sb_truth : truth;
-  sb_sp_cpi : float;
-  sb_sp_error : float;
-  sb_sp_cost_insts : float;
-  sb_n_intervals : int;
-  sb_n_live : int;
-  sb_methods : method_runs list;
-}
-
-type sampling_result = {
-  smp_binaries : sampling_binary list;
-  smp_target : int;
-  smp_n : int;
-  smp_level : float;
-  smp_seeds : int list;
-}
-
-let sampling_methods = [ "srs"; "systematic"; "strat-phase"; "strat-mix" ]
-
-let run_sampling ?(sp_config = Simpoint.default_config) ?cache_config ?engine
-    ?(level = 0.95) ?(seeds = [ 2007 ]) program ~configs ~input ~target ~n =
-  if configs = [] then invalid_arg "Pipeline.run_sampling: no configs";
-  if n < 2 then invalid_arg "Pipeline.run_sampling: sample size must be >= 2";
-  if seeds = [] then invalid_arg "Pipeline.run_sampling: no seeds";
+let run_sampling_uncached ~sp_config ~cache_config ~eng ~level ~seeds program
+    ~configs ~input ~target ~n =
   Tracer.with_span ~name:"run_sampling" ~cat:"pipeline"
     ~attrs:[ ("program", program.Cbsp_source.Ast.prog_name) ]
   @@ fun () ->
-  let eng = match engine with Some e -> e | None -> create_engine () in
   let binaries =
     Scheduler.parallel_map ~jobs:eng.eng_jobs
       (fun (ci, (config : Config.t)) ->
@@ -810,6 +822,29 @@ let run_sampling ?(sp_config = Simpoint.default_config) ?cache_config ?engine
   { smp_binaries = binaries; smp_target = target; smp_n = n;
     smp_level = level; smp_seeds = seeds }
 
+let run_sampling ?(sp_config = Simpoint.default_config) ?cache_config ?engine
+    ?(level = 0.95) ?(seeds = [ 2007 ]) program ~configs ~input ~target ~n =
+  if configs = [] then invalid_arg "Pipeline.run_sampling: no configs";
+  if n < 2 then invalid_arg "Pipeline.run_sampling: sample size must be >= 2";
+  if seeds = [] then invalid_arg "Pipeline.run_sampling: no seeds";
+  let eng = match engine with Some e -> e | None -> create_engine () in
+  let go () =
+    run_sampling_uncached ~sp_config ~cache_config ~eng ~level ~seeds program
+      ~configs ~input ~target ~n
+  in
+  match eng.eng_results with
+  | None -> go ()
+  | Some rc ->
+    (* Whole-result memoization like run_fli/run_vli: the sampling pass
+       is a pure function of everything below, so a warm validation
+       matrix (which is mostly sampling passes) is served from disk. *)
+    let key =
+      Store.digest
+        ( "sampling/1", program, configs, input, target, sp_config,
+          cache_config, level, seeds, n )
+    in
+    Store.find_or_compute rc.rc_sampling ~key go
+
 let find_sampling_binary result ~label =
   List.find
     (fun sb -> Config.label sb.sb_config = label)
@@ -861,3 +896,35 @@ let replay ?cache_config (binary : Binary.t) ~input points =
 
 let find_binary results ~label =
   List.find (fun r -> Config.label r.br_config = label) results
+
+(* --- uniform estimate records ------------------------------------- *)
+
+let record_of_binary ~method_ (br : binary_result) =
+  { er_method = method_; er_label = Config.label br.br_config;
+    er_truth = br.br_truth; er_est_cpi = br.br_est_cpi;
+    er_est_cycles = br.br_est_cycles }
+
+let estimate_records_fli result =
+  List.map (record_of_binary ~method_:"fli") result.fli_binaries
+
+let estimate_records_vli ?(method_ = "vli") result =
+  List.map (record_of_binary ~method_) result.vli_binaries
+
+let estimate_records_sampling result =
+  List.concat_map
+    (fun sb ->
+      let insts = float_of_int sb.sb_truth.t_insts in
+      List.map
+        (fun mr ->
+          (* Collapse the per-seed runs to their mean point estimate:
+             the harness scores a method, not one RNG stream. *)
+          let est =
+            Stats.mean
+              (Array.of_list
+                 (List.map (fun r -> r.sr_estimate.Sampler.e_point) mr.mr_runs))
+          in
+          { er_method = mr.mr_method; er_label = Config.label sb.sb_config;
+            er_truth = sb.sb_truth; er_est_cpi = est;
+            er_est_cycles = est *. insts })
+        sb.sb_methods)
+    result.smp_binaries

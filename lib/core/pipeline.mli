@@ -81,6 +81,47 @@ type vli_result = {
 val default_target : int
 (** 100_000 — stands for the paper's 100M-instruction interval size. *)
 
+(** {1 Statistical sampling estimators}
+
+    The third estimation method, benchmarked against SimPoint: estimate
+    whole-program CPI by statistically sampling the per-interval profile
+    the pipeline already collects, and report a Student-t confidence
+    interval next to each point estimate (which SimPoint cannot do).
+    See {!Cbsp_sampling.Sampler} for the estimator math. *)
+
+type sampler_run = {
+  sr_seed : int;                          (** RNG seed of this run. *)
+  sr_estimate : Cbsp_sampling.Sampler.estimate;
+}
+
+type method_runs = {
+  mr_method : string;   (** One of {!sampling_methods}. *)
+  mr_runs : sampler_run list;  (** One per requested seed, in order. *)
+}
+
+type sampling_binary = {
+  sb_config : Cbsp_compiler.Config.t;
+  sb_truth : truth;
+  sb_sp_cpi : float;    (** SimPoint CPI estimate on the same intervals. *)
+  sb_sp_error : float;  (** SimPoint's relative CPI error. *)
+  sb_sp_cost_insts : float;
+      (** Instructions inside SimPoint's representative intervals — its
+          detailed-simulation cost, comparable to
+          {!Cbsp_sampling.Sampler.estimate.e_cost_insts}. *)
+  sb_n_intervals : int;
+  sb_n_live : int;      (** Intervals with at least one instruction. *)
+  sb_methods : method_runs list;  (** In {!sampling_methods} order. *)
+}
+
+type sampling_result = {
+  smp_binaries : sampling_binary list;  (** Parallel to the input configs. *)
+  smp_target : int;
+  smp_n : int;       (** Requested per-run sample size. *)
+  smp_level : float; (** Confidence level shared by all runs. *)
+  smp_seeds : int list;
+}
+
+
 (** {1 The job-graph engine}
 
     Both pipelines decompose into jobs — (stage, binary) pairs: compile,
@@ -108,13 +149,15 @@ val default_target : int
 type result_caches = {
   rc_fli : fli_result Cbsp_engine.Store.t;
   rc_vli : vli_result Cbsp_engine.Store.t;
+  rc_sampling : sampling_result Cbsp_engine.Store.t;
 }
 (** Whole-result stores, present only on engines created with
-    [?cache_dir]: {!run_fli}/{!run_vli} through such an engine memoize
-    (and persist) the entire result keyed by everything that determines
-    it, so a warm process answers repeat requests without touching the
-    executor.  Engines without a persistent cache never use this layer
-    — in particular the differential tests' fresh engines. *)
+    [?cache_dir]: {!run_fli}/{!run_vli}/{!run_sampling} through such an
+    engine memoize (and persist) the entire result keyed by everything
+    that determines it, so a warm process answers repeat requests
+    without touching the executor.  Engines without a persistent cache
+    never use this layer — in particular the differential tests' fresh
+    engines. *)
 
 type engine = {
   eng_jobs : int;  (** Scheduler width; 1 = sequential. *)
@@ -212,46 +255,6 @@ val run_vli :
     @raise Invalid_argument if [primary] is out of range or [configs] is
     empty. *)
 
-(** {1 Statistical sampling estimators}
-
-    The third estimation method, benchmarked against SimPoint: estimate
-    whole-program CPI by statistically sampling the per-interval profile
-    the pipeline already collects, and report a Student-t confidence
-    interval next to each point estimate (which SimPoint cannot do).
-    See {!Cbsp_sampling.Sampler} for the estimator math. *)
-
-type sampler_run = {
-  sr_seed : int;                          (** RNG seed of this run. *)
-  sr_estimate : Cbsp_sampling.Sampler.estimate;
-}
-
-type method_runs = {
-  mr_method : string;   (** One of {!sampling_methods}. *)
-  mr_runs : sampler_run list;  (** One per requested seed, in order. *)
-}
-
-type sampling_binary = {
-  sb_config : Cbsp_compiler.Config.t;
-  sb_truth : truth;
-  sb_sp_cpi : float;    (** SimPoint CPI estimate on the same intervals. *)
-  sb_sp_error : float;  (** SimPoint's relative CPI error. *)
-  sb_sp_cost_insts : float;
-      (** Instructions inside SimPoint's representative intervals — its
-          detailed-simulation cost, comparable to
-          {!Cbsp_sampling.Sampler.estimate.e_cost_insts}. *)
-  sb_n_intervals : int;
-  sb_n_live : int;      (** Intervals with at least one instruction. *)
-  sb_methods : method_runs list;  (** In {!sampling_methods} order. *)
-}
-
-type sampling_result = {
-  smp_binaries : sampling_binary list;  (** Parallel to the input configs. *)
-  smp_target : int;
-  smp_n : int;       (** Requested per-run sample size. *)
-  smp_level : float; (** Confidence level shared by all runs. *)
-  smp_seeds : int list;
-}
-
 val sampling_methods : string list
 (** [["srs"; "systematic"; "strat-phase"; "strat-mix"]] — simple random,
     systematic, and the two two-phase stratified samplers (k-means phase
@@ -308,3 +311,32 @@ val replay :
 val find_binary : binary_result list -> label:string -> binary_result
 (** Look up by {!Cbsp_compiler.Config.label} (["32u"], ["64o"], ...).
     @raise Not_found if absent. *)
+
+(** {1 Uniform estimate records}
+
+    Every pipeline flavor reduced to the same shape — one record per
+    (method, binary) with the measured truth next to the estimate — so
+    downstream consumers (the validation harness in particular) compute
+    CPI and cross-binary speedup errors with a single code path. *)
+
+type estimate_record = {
+  er_method : string;      (** ["fli"], ["vli"], a sampling method, ... *)
+  er_label : string;       (** {!Cbsp_compiler.Config.label} of the binary. *)
+  er_truth : truth;        (** Full-run measurement for this binary. *)
+  er_est_cpi : float;
+  er_est_cycles : float;   (** [er_est_cpi *. er_truth.t_insts]. *)
+}
+
+val estimate_records_fli : fli_result -> estimate_record list
+(** One record per binary, method ["fli"], in input-config order. *)
+
+val estimate_records_vli : ?method_:string -> vli_result -> estimate_record list
+(** One record per binary, in input-config order.  [method_] (default
+    ["vli"]) names the record — pass e.g. ["vli-static"] when the result
+    came from a prover-assisted run. *)
+
+val estimate_records_sampling : sampling_result -> estimate_record list
+(** One record per (binary, sampling method): the point estimate is the
+    mean of the per-seed estimates, so the record scores the method
+    rather than a single RNG stream.  Order: binaries in input-config
+    order, methods in {!sampling_methods} order within each binary. *)

@@ -7,6 +7,7 @@ type t =
   | Clustering
   | Summarize
   | Sampling
+  | Validate
 
 let name = function
   | Compile -> "compile"
@@ -17,10 +18,11 @@ let name = function
   | Clustering -> "clustering"
   | Summarize -> "summarize"
   | Sampling -> "sampling"
+  | Validate -> "validate"
 
 let all =
   [ Compile; Analysis; Struct_profile; Matching; Interval_collection;
-    Clustering; Summarize; Sampling ]
+    Clustering; Summarize; Sampling; Validate ]
 
 let index = function
   | Compile -> 0
@@ -31,5 +33,6 @@ let index = function
   | Clustering -> 5
   | Summarize -> 6
   | Sampling -> 7
+  | Validate -> 8
 
 let compare a b = Int.compare (index a) (index b)

@@ -17,6 +17,7 @@ type t =
   | Clustering          (** SimPoint k-means / BIC on the BBVs. *)
   | Summarize           (** Per-binary weights, CPI estimate, metrics. *)
   | Sampling            (** Statistical sampling estimator (one method). *)
+  | Validate            (** Validation-matrix error computation. *)
 
 val name : t -> string
 (** Stable lower-case name, e.g. ["interval-collection"]. *)

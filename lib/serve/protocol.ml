@@ -5,6 +5,8 @@
       "target":N,"scale":S,"seed":R,"max_k":K,"static":B}
      {"op":"sample","workload":W,"tenant":T,"target":N,"scale":S,
       "seed":R,"n":N2,"level":L}
+     {"op":"validate","workload":W,"tenant":T,"target":N,"scale":S,
+      "seed":R,"max_k":K,"n":N2}
      {"op":"metrics"}   {"op":"ping"}
 
    Responses always carry "schema", "status" ("ok"|"error") and echo
@@ -42,11 +44,21 @@ type sample_req = {
   s_level : float;
 }
 
+type validate_req = {
+  v_workload : string;
+  v_target : int;
+  v_scale : int;
+  v_seed : int;
+  v_max_k : int;
+  v_n : int;
+}
+
 type request =
   | Ping
   | Metrics_req
   | Points of points_req
   | Sample of sample_req
+  | Validate of validate_req
 
 type parsed = { pr_tenant : string; pr_request : request }
 
@@ -104,6 +116,18 @@ let parse_request line =
                   s_seed = seed;
                   s_n = Jsonx.int_member "n" json ~default:20;
                   s_level = level } })
+    | "validate" -> (
+      match workload () with
+      | Error e -> Error e
+      | Ok w ->
+        Ok
+          { pr_tenant = tenant;
+            pr_request =
+              Validate
+                { v_workload = w; v_target = target; v_scale = scale;
+                  v_seed = seed;
+                  v_max_k = Jsonx.int_member "max_k" json ~default:10;
+                  v_n = Jsonx.int_member "n" json ~default:20 } })
     | "" -> Error "missing \"op\""
     | op -> Error (Printf.sprintf "unknown op %S" op))
 
@@ -112,6 +136,7 @@ let request_op = function
   | Metrics_req -> "metrics"
   | Points _ -> "points"
   | Sample _ -> "sample"
+  | Validate _ -> "validate"
 
 (* --- request builders (client side) ------------------------------------ *)
 
@@ -138,6 +163,17 @@ let json_of_sample_req ~tenant (r : sample_req) =
       ("n", Jsonx.Num (float_of_int r.s_n));
       ("level", Jsonx.Num r.s_level) ]
 
+let json_of_validate_req ~tenant (r : validate_req) =
+  Jsonx.Obj
+    [ ("schema", Jsonx.Str schema); ("op", Jsonx.Str "validate");
+      ("workload", Jsonx.Str r.v_workload);
+      ("tenant", Jsonx.Str tenant);
+      ("target", Jsonx.Num (float_of_int r.v_target));
+      ("scale", Jsonx.Num (float_of_int r.v_scale));
+      ("seed", Jsonx.Num (float_of_int r.v_seed));
+      ("max_k", Jsonx.Num (float_of_int r.v_max_k));
+      ("n", Jsonx.Num (float_of_int r.v_n)) ]
+
 let json_of_request ~tenant = function
   | Ping ->
     Jsonx.Obj
@@ -149,6 +185,7 @@ let json_of_request ~tenant = function
         ("tenant", Jsonx.Str tenant) ]
   | Points r -> json_of_points_req ~tenant r
   | Sample r -> json_of_sample_req ~tenant r
+  | Validate r -> json_of_validate_req ~tenant r
 
 (* --- responses --------------------------------------------------------- *)
 
@@ -269,6 +306,14 @@ let json_of_metrics_snapshot items =
   in
   response_base ~op:"metrics"
     [ ("metrics", Jsonx.List (List.map json_of_item items)) ]
+
+let json_of_validation ~workload ~elapsed_s ~mode matrix board =
+  match Cbsp_validate.Leaderboard.to_json ~mode matrix board with
+  | Jsonx.Obj fields ->
+    response_base ~op:"validate"
+      [ ("workload", Jsonx.Str workload); ("elapsed_s", Jsonx.Num elapsed_s);
+        ("validate", Jsonx.Obj fields) ]
+  | _ -> assert false (* to_json always builds an object *)
 
 let pong ~uptime_s =
   response_base ~op:"ping" [ ("uptime_s", Jsonx.Num uptime_s) ]

@@ -2,7 +2,7 @@
     direction.
 
     Requests name an operation ([ping] / [metrics] / [points] /
-    [sample]), a tenant (for quotas) and, for the pipeline operations, a
+    [sample] / [validate]), a tenant (for quotas) and, for the pipeline operations, a
     workload from the registry plus its sizing knobs.  Responses echo
     the operation under ["status": "ok"], or carry ["status": "error"]
     with a [retriable] flag — [true] (queue shed, quota exhausted) means
@@ -31,11 +31,21 @@ type sample_req = {
   s_level : float;
 }
 
+type validate_req = {
+  v_workload : string;
+  v_target : int;
+  v_scale : int;
+  v_seed : int;
+  v_max_k : int;
+  v_n : int;  (** Per-run sample size for the sampling methods. *)
+}
+
 type request =
   | Ping
   | Metrics_req
   | Points of points_req
   | Sample of sample_req
+  | Validate of validate_req
 
 type parsed = { pr_tenant : string; pr_request : request }
 
@@ -72,6 +82,16 @@ val json_of_sampling :
   elapsed_s:float ->
   Cbsp.Pipeline.sampling_result ->
   Jsonx.t
+
+val json_of_validation :
+  workload:string ->
+  elapsed_s:float ->
+  mode:string ->
+  Cbsp_validate.Matrix.t ->
+  Cbsp_validate.Leaderboard.t ->
+  Jsonx.t
+(** One workload's matrix row as a [validate] response: the full
+    [cbsp-validate/1] document under a ["validate"] key. *)
 
 val json_of_metrics_snapshot : Cbsp_obs.Metrics.item list -> Jsonx.t
 

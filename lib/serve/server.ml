@@ -25,6 +25,8 @@ module Metrics = Cbsp_obs.Metrics
 module Tracer = Cbsp_obs.Tracer
 module Manifest = Cbsp_obs.Manifest
 module Timing = Cbsp_engine.Timing
+module Matrix = Cbsp_validate.Matrix
+module Leaderboard = Cbsp_validate.Leaderboard
 
 type address = Unix_socket of string | Tcp of int
 
@@ -173,6 +175,27 @@ let run_sample st (r : Protocol.sample_req) =
       result,
     eng )
 
+let run_validate st (r : Protocol.validate_req) =
+  let entry = Registry.find r.Protocol.v_workload in
+  let target = clamp 1_000 st.st_config.sv_max_target r.Protocol.v_target in
+  let scale = clamp 1 st.st_config.sv_max_scale r.Protocol.v_scale in
+  let max_k = clamp 2 20 r.Protocol.v_max_k in
+  let n = clamp 2 200 r.Protocol.v_n in
+  let options =
+    { Matrix.default_options with
+      Matrix.mo_target = target; mo_scale = scale; mo_seed = r.Protocol.v_seed;
+      mo_max_k = max_k; mo_sample_n = n }
+  in
+  let eng = Pipeline.fork_engine st.st_engine in
+  let t0 = Unix.gettimeofday () in
+  let row = Matrix.run_workload ~engine:eng ~options entry.Registry.name in
+  let matrix = { Matrix.m_workloads = [ row ]; m_options = options; m_jobs = 1 } in
+  let board = Leaderboard.build matrix in
+  ( Protocol.json_of_validation ~workload:entry.Registry.name
+      ~elapsed_s:(Unix.gettimeofday () -. t0)
+      ~mode:"serve" matrix board,
+    eng )
+
 (* Fold a request engine's records into the server-wide sink (for the
    final manifest) and write the per-request manifest if configured. *)
 let absorb_request st ~req_id ~op ~tenant eng =
@@ -204,6 +227,10 @@ let dispatch st ~req_id (parsed : Protocol.parsed) =
     response
   | Protocol.Sample r ->
     let response, eng = run_sample st r in
+    absorb_request st ~req_id ~op ~tenant:parsed.Protocol.pr_tenant eng;
+    response
+  | Protocol.Validate r ->
+    let response, eng = run_validate st r in
     absorb_request st ~req_id ~op ~tenant:parsed.Protocol.pr_tenant eng;
     response
 

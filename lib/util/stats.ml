@@ -193,9 +193,16 @@ let percentile xs ~p =
 
 let median xs = percentile xs ~p:50.0
 
+(* Total on all of R^2: a zero or non-finite truth (an empty or dead
+   measurement, not a bad estimate) and a non-finite estimate both yield
+   nan, the "cell could not be evaluated" marker every aggregation layer
+   is expected to skip-and-count rather than fold into a mean.  Raising
+   here (the old contract) meant one degenerate cell aborted a whole
+   validation matrix. *)
 let relative_error ~truth ~estimate =
-  if truth = 0.0 then invalid_arg "Stats.relative_error: zero truth";
-  Float.abs (truth -. estimate) /. Float.abs truth
+  if truth = 0.0 || not (Float.is_finite truth) || not (Float.is_finite estimate)
+  then Float.nan
+  else Float.abs (truth -. estimate) /. Float.abs truth
 
 let signed_relative_error ~truth ~estimate =
   if truth = 0.0 then invalid_arg "Stats.signed_relative_error: zero truth";

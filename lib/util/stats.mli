@@ -42,8 +42,13 @@ val percentile : float array -> p:float -> float
 (** Linear-interpolation percentile, [p] in [0, 100]. *)
 
 val relative_error : truth:float -> estimate:float -> float
-(** [|truth - estimate| / |truth|]; the paper's CPI-error and speedup-error
-    metric.  @raise Invalid_argument if [truth = 0]. *)
+(** [|truth - estimate| / |truth|]; the paper's CPI-error and
+    speedup-error metric.  Total: when [truth = 0] or either argument is
+    non-finite the result is [nan] — the "this cell could not be
+    evaluated" marker.  Consumers aggregating many errors (the validate
+    leaderboard, the figures) must skip-and-count non-finite values
+    rather than fold them into means.  The result is never negative and
+    is [nan] only in the cases above. *)
 
 val signed_relative_error : truth:float -> estimate:float -> float
 (** [(estimate - truth) / truth]; used for the per-phase bias columns of

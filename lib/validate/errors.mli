@@ -1,0 +1,47 @@
+(** Per-cell error computation: one cell per (workload, method, quantity)
+    where a quantity is either a binary's CPI or a binary pair's
+    cross-binary speedup.  All methods flow through the same two
+    functions via {!Cbsp.Pipeline.estimate_record}, so FLI, VLI and the
+    statistical samplers are scored by identical arithmetic. *)
+
+type kind =
+  | Cpi of string  (** CPI of the binary with this config label. *)
+  | Speedup of string * string
+      (** Speedup of the first label over the second
+          ([cycles a / cycles b], the {!Cbsp.Metrics} convention). *)
+
+type cell = {
+  cl_workload : string;
+  cl_method : string;
+  cl_kind : kind;
+  cl_truth : float;
+  cl_estimate : float;
+  cl_error : float;
+      (** {!Cbsp_util.Stats.relative_error}; [nan] marks a cell that
+          could not be evaluated (zero or non-finite truth or estimate)
+          and must be skip-and-counted by aggregation. *)
+}
+
+val is_skipped : cell -> bool
+(** [true] iff [cl_error] is not finite. *)
+
+val kind_name : kind -> string
+(** ["cpi/32u"], ["speedup/32u->32o"], ... — stable identifiers used in
+    the [cbsp-validate/1] JSON. *)
+
+val cpi_cells :
+  workload:string -> Cbsp.Pipeline.estimate_record list -> cell list
+(** One CPI cell per record, in record order. *)
+
+val speedup_cells :
+  workload:string ->
+  pairs:(string * string) list ->
+  Cbsp.Pipeline.estimate_record list ->
+  cell list
+(** One speedup cell per (method, pair), methods in first-appearance
+    order.  Pairs whose labels a method lacks are dropped (never the
+    case for complete paper-four runs); a zero-cycle denominator yields
+    a [nan] truth/estimate and hence a skipped cell rather than an
+    exception.  An identical pair [(a, a)] has truth exactly [1.0] and
+    error exactly [0.0] — IEEE division guarantees [x /. x = 1.0] for
+    finite non-zero [x]. *)

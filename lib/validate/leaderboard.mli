@@ -1,0 +1,61 @@
+(** Per-method aggregation of a validation matrix into a ranked
+    leaderboard, and its serialization as the [cbsp-validate/1]
+    document.
+
+    Aggregation is skip-and-count: non-finite cell errors (the
+    {!Cbsp_util.Stats.relative_error} nan contract) never enter a mean —
+    they are counted per aggregate ([a_skipped]) and in the matrix-wide
+    {!coverage}, so a "great" score backed by silently dropped cells is
+    impossible. *)
+
+type agg = {
+  a_mean : float;
+  a_max : float;
+  a_p50 : float;
+  a_p90 : float;
+  a_ci_lo : float;  (** Student-t CI for the mean; [nan] when < 2 cells. *)
+  a_ci_hi : float;
+  a_n : int;        (** Finite cells aggregated. *)
+  a_skipped : int;  (** Non-finite cells excluded. *)
+}
+
+type method_row = {
+  r_method : string;
+  r_cpi : agg;      (** Over the method's CPI cells, all workloads. *)
+  r_speedup : agg;  (** Over the method's speedup cells. *)
+}
+
+type coverage = {
+  cov_expected : int;
+      (** workloads x methods x (labels + pairs) — the full matrix. *)
+  cov_evaluated : int;  (** Cells with a finite error. *)
+  cov_skipped : int;    (** Cells computed but non-finite. *)
+  cov_failed : int;     (** Cells missing because a method group raised. *)
+}
+
+type t = {
+  lb_rows : method_row list;
+      (** Ranked: ascending mean CPI error, methods with no finite cells
+          last, ties broken by method name — a total, deterministic
+          order. *)
+  lb_coverage : coverage;
+}
+
+val n_labels : int
+(** Binaries per workload (the paper's four configurations). *)
+
+val aggregate : float list -> agg
+(** Skip-and-count aggregation of raw errors (exposed for tests). *)
+
+val build : Matrix.t -> t
+
+val find : t -> method_:string -> method_row
+(** @raise Not_found. *)
+
+val to_json : ?mode:string -> Matrix.t -> t -> Cbsp_json.Jsonx.t
+(** The [cbsp-validate/1] document: schema tag, [mode] (default
+    ["full"]), the run options, workloads/methods/pairs, coverage, the
+    ranked leaderboard, every cell, and any failures or truth
+    mismatches.  Deliberately excludes wall-clock and the scheduler
+    width, so the document is byte-identical across [-j] values and
+    cache states. *)

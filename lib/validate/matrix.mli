@@ -1,0 +1,89 @@
+(** The validation matrix: every requested workload x binary pair x
+    estimation method, each cell a relative error against the full-run
+    truth.
+
+    The matrix rides the engine like {!Cbsp_report.Experiment}: one
+    {!Cbsp.Pipeline.engine} per workload (so FLI, VLI, prover-assisted
+    VLI and the sampling pass share compiled binaries and profiles),
+    workloads fanned out over scheduler domains, results in input order
+    — bit-identical for every [jobs] value.  A [cache_dir] additionally
+    memoizes whole pipeline results on disk, so re-validating an
+    unchanged tree replays from the cache in seconds. *)
+
+type options = {
+  mo_target : int;        (** Interval target (instructions). *)
+  mo_scale : int;         (** Input scale. *)
+  mo_seed : int;          (** Input seed. *)
+  mo_max_k : int;         (** SimPoint phase-count cap. *)
+  mo_level : float;       (** Sampling confidence level. *)
+  mo_sample_n : int;      (** Per-run sample size. *)
+  mo_sample_seeds : int list;  (** Sampling RNG seeds (>= 1). *)
+}
+
+val default_options : options
+(** Paper-faithful defaults: target 100k, scale 10, seed 42, max_k 10,
+    level 0.95, n 64, seeds [2007; 2008; 2009]. *)
+
+val methods : string list
+(** The seven scored methods:
+    [["fli"; "vli"; "vli-static"]] followed by
+    {!Cbsp.Pipeline.sampling_methods}. *)
+
+val pairs : (string * string) list
+(** The paper's four speedup pairs: same-platform (32u->32o, 64u->64o)
+    then cross-platform (32u->64u, 32o->64o). *)
+
+type workload_result = {
+  w_name : string;
+  w_cells : Errors.cell list;
+  w_truth : Truth.entry list;   (** Per-binary ground truth. *)
+  w_mismatches : (string * string) list;
+      (** {!Truth.mismatches} — empty on a healthy run. *)
+  w_failed : (string * string) list;
+      (** [(method, reason)] for method groups that raised; their cells
+          are absent and counted as failed coverage, never silently
+          dropped. *)
+  w_timings : Cbsp_engine.Timing.record list;
+      (** Every job this workload's engine ran (including the
+          [validate] error-computation stage). *)
+}
+
+type t = {
+  m_workloads : workload_result list;  (** In requested-name order. *)
+  m_options : options;
+  m_jobs : int;
+}
+
+val run_workload :
+  engine:Cbsp.Pipeline.engine -> options:options -> string -> workload_result
+(** One matrix row through a caller-supplied engine (the serve op path).
+    [w_timings] is left empty — the engine's sink belongs to the caller.
+    @raise Not_found for an unknown workload name. *)
+
+val run :
+  ?options:options ->
+  ?names:string list ->
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?progress:(string -> unit) ->
+  unit ->
+  t
+(** The full matrix over [names] (default: the whole registry).
+    [jobs] (default 1) bounds worker domains; [progress] is called with
+    each workload's name before it runs (from a worker domain when
+    [jobs > 1]).  The result carries no wall-clock — it is a pure
+    function of [(options, names)].
+    @raise Not_found for unknown workload names (checked before any
+    pipeline work). *)
+
+val timings : t -> Cbsp_engine.Timing.record list
+(** All workloads' job records concatenated, in matrix order. *)
+
+val cells : t -> Errors.cell list
+(** All cells concatenated, in matrix order. *)
+
+val failures : t -> (string * string * string) list
+(** [(workload, method, reason)], flattened. *)
+
+val truth_mismatches : t -> (string * string * string) list
+(** [(workload, method, label)], flattened. *)

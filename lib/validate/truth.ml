@@ -1,0 +1,33 @@
+module Pipeline = Cbsp.Pipeline
+
+type entry = {
+  tr_label : string;
+  tr_insts : int;
+  tr_cycles : float;
+  tr_cpi : float;
+}
+
+let entry_of (r : Pipeline.estimate_record) =
+  let t = r.Pipeline.er_truth in
+  { tr_label = r.Pipeline.er_label; tr_insts = t.Pipeline.t_insts;
+    tr_cycles = t.Pipeline.t_cycles; tr_cpi = t.Pipeline.t_cpi }
+
+let table records =
+  List.fold_left
+    (fun acc (r : Pipeline.estimate_record) ->
+      if List.exists (fun e -> e.tr_label = r.Pipeline.er_label) acc then acc
+      else acc @ [ entry_of r ])
+    [] records
+
+let mismatches records =
+  let tab = table records in
+  List.filter_map
+    (fun (r : Pipeline.estimate_record) ->
+      let e = List.find (fun e -> e.tr_label = r.Pipeline.er_label) tab in
+      let t = r.Pipeline.er_truth in
+      if
+        e.tr_insts = t.Pipeline.t_insts
+        && e.tr_cycles = t.Pipeline.t_cycles
+      then None
+      else Some (r.Pipeline.er_method, r.Pipeline.er_label))
+    records

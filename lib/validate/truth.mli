@@ -1,0 +1,22 @@
+(** The full-run ground truth a workload's estimates are judged against.
+
+    Every method's pipeline measures the same binaries on the same
+    input, so their truths must agree bit-for-bit; the table keeps one
+    entry per binary and {!mismatches} reports any method whose
+    measurement disagrees — a disagreement means the matrix compared
+    estimates against different baselines and its errors are suspect. *)
+
+type entry = {
+  tr_label : string;  (** Config label (["32u"], ...). *)
+  tr_insts : int;
+  tr_cycles : float;
+  tr_cpi : float;
+}
+
+val table : Cbsp.Pipeline.estimate_record list -> entry list
+(** One entry per distinct label, first-appearance order; the first
+    record with a label defines its truth. *)
+
+val mismatches : Cbsp.Pipeline.estimate_record list -> (string * string) list
+(** [(method, label)] for every record whose truth (instructions or
+    cycles) differs from the table entry.  Empty on a healthy run. *)

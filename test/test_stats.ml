@@ -42,9 +42,24 @@ let test_errors () =
     (Stats.relative_error ~truth:10.0 ~estimate:11.0);
   Tutil.check_float "signed error negative" (-0.1)
     (Stats.signed_relative_error ~truth:10.0 ~estimate:9.0);
-  Alcotest.check_raises "zero truth"
-    (Invalid_argument "Stats.relative_error: zero truth") (fun () ->
-      ignore (Stats.relative_error ~truth:0.0 ~estimate:1.0))
+  (* The nan contract: degenerate truths/estimates mark the cell
+     unevaluable instead of raising, so one dead measurement cannot
+     abort a whole validation matrix. *)
+  Tutil.check_bool "zero truth is nan" true
+    (Float.is_nan (Stats.relative_error ~truth:0.0 ~estimate:1.0));
+  Tutil.check_bool "nan truth is nan" true
+    (Float.is_nan (Stats.relative_error ~truth:Float.nan ~estimate:1.0));
+  Tutil.check_bool "inf truth is nan" true
+    (Float.is_nan (Stats.relative_error ~truth:Float.infinity ~estimate:1.0));
+  Tutil.check_bool "nan estimate is nan" true
+    (Float.is_nan (Stats.relative_error ~truth:2.0 ~estimate:Float.nan));
+  Tutil.check_bool "inf estimate is nan" true
+    (Float.is_nan
+       (Stats.relative_error ~truth:2.0 ~estimate:Float.neg_infinity));
+  (* signed_relative_error keeps the raising contract. *)
+  Alcotest.check_raises "signed zero truth"
+    (Invalid_argument "Stats.signed_relative_error: zero truth") (fun () ->
+      ignore (Stats.signed_relative_error ~truth:0.0 ~estimate:1.0))
 
 let test_sample_variance () =
   (* Known value: var([1..5]) with the n-1 denominator is 2.5. *)
@@ -146,6 +161,19 @@ let prop_mean_between_extremes =
       let hi = Array.fold_left Float.max neg_infinity xs in
       m >= lo -. 1e-9 && m <= hi +. 1e-9)
 
+let prop_relative_error_total =
+  (* Total on R^2: nan exactly when truth is 0/non-finite or the
+     estimate is non-finite; otherwise the usual non-negative ratio. *)
+  QCheck.Test.make ~name:"relative_error total with nan contract" ~count:500
+    QCheck.(pair (float_range (-1e6) 1e6) (float_range (-1e6) 1e6))
+    (fun (truth, estimate) ->
+      let e = Stats.relative_error ~truth ~estimate in
+      if truth = 0.0 then Float.is_nan e
+      else
+        Float.is_finite e && e >= 0.0
+        && Float.abs (e -. (Float.abs (truth -. estimate) /. Float.abs truth))
+           <= 1e-12 *. Float.max 1.0 e)
+
 let prop_sq_distance_symmetric =
   QCheck.Test.make ~name:"sq_distance symmetric" ~count:200
     QCheck.(pair (array_of_size (Gen.return 8) (float_range (-10.0) 10.0))
@@ -172,4 +200,5 @@ let () =
         [ Tutil.qcheck_case prop_normalize_sums_to_one;
           Tutil.qcheck_case prop_percentile_bounded;
           Tutil.qcheck_case prop_mean_between_extremes;
+          Tutil.qcheck_case prop_relative_error_total;
           Tutil.qcheck_case prop_sq_distance_symmetric ] ) ]

@@ -1,0 +1,309 @@
+(* The validation harness: cell arithmetic, skip-and-count aggregation,
+   budget checking, and the matrix's determinism/coverage guarantees. *)
+
+module Pipeline = Cbsp.Pipeline
+module Errors = Cbsp_validate.Errors
+module Truth = Cbsp_validate.Truth
+module Matrix = Cbsp_validate.Matrix
+module Leaderboard = Cbsp_validate.Leaderboard
+module Budgets = Cbsp_validate.Budgets
+module Jsonx = Cbsp_json.Jsonx
+
+(* --- synthetic estimate records ----------------------------------- *)
+
+let truth_of ~insts ~cycles =
+  { Pipeline.t_insts = insts; t_cycles = cycles;
+    t_cpi = cycles /. float_of_int insts }
+
+let record ?(method_ = "m") ?(label = "32u") ?(insts = 1000)
+    ?(cycles = 2000.0) ?(est_cpi = 2.1) () =
+  let truth = truth_of ~insts ~cycles in
+  { Pipeline.er_method = method_; er_label = label; er_truth = truth;
+    er_est_cpi = est_cpi;
+    er_est_cycles = est_cpi *. float_of_int insts }
+
+let test_cpi_cells () =
+  let cells =
+    Errors.cpi_cells ~workload:"w"
+      [ record ~est_cpi:2.2 (); record ~label:"32o" ~est_cpi:2.0 () ]
+  in
+  Tutil.check_int "two cells" 2 (List.length cells);
+  let c = List.hd cells in
+  Tutil.check_close ~eps:1e-12 "error = |2.0-2.2|/2.0" 0.1 c.Errors.cl_error;
+  Tutil.check_bool "not skipped" false (Errors.is_skipped c)
+
+let test_cpi_cell_zero_truth_skipped () =
+  (* A binary that executed nothing: truth CPI 0 -> nan error, skipped,
+     never an exception. *)
+  let r = record ~cycles:0.0 () in
+  let r = { r with Pipeline.er_truth = truth_of ~insts:1000 ~cycles:0.0 } in
+  match Errors.cpi_cells ~workload:"w" [ r ] with
+  | [ c ] ->
+    Tutil.check_bool "skipped" true (Errors.is_skipped c);
+    Tutil.check_bool "error is nan" true (Float.is_nan c.Errors.cl_error)
+  | _ -> Alcotest.fail "expected one cell"
+
+let test_speedup_cells () =
+  let records =
+    [ record ~label:"32u" ~cycles:3000.0 ~est_cpi:3.1 ();
+      record ~label:"32o" ~cycles:2000.0 ~est_cpi:2.0 () ]
+  in
+  match
+    Errors.speedup_cells ~workload:"w" ~pairs:[ ("32u", "32o") ] records
+  with
+  | [ c ] ->
+    Tutil.check_close ~eps:1e-12 "truth speedup" 1.5 c.Errors.cl_truth;
+    Tutil.check_close ~eps:1e-12 "estimate speedup" (3.1 /. 2.0)
+      c.Errors.cl_estimate;
+    Tutil.check_bool "finite" false (Errors.is_skipped c)
+  | _ -> Alcotest.fail "expected one cell"
+
+let test_identical_pair_exact () =
+  (* (a, a): truth and estimate are both x/x = 1.0 exactly, error 0.0
+     exactly — no epsilon. *)
+  let records = [ record ~label:"64o" ~cycles:7321.0 ~est_cpi:2.173 () ] in
+  match
+    Errors.speedup_cells ~workload:"w" ~pairs:[ ("64o", "64o") ] records
+  with
+  | [ c ] ->
+    Alcotest.(check (float 0.0)) "truth exactly 1" 1.0 c.Errors.cl_truth;
+    Alcotest.(check (float 0.0)) "estimate exactly 1" 1.0 c.Errors.cl_estimate;
+    Alcotest.(check (float 0.0)) "error exactly 0" 0.0 c.Errors.cl_error
+  | _ -> Alcotest.fail "expected one cell"
+
+let test_speedup_missing_label_dropped () =
+  let records = [ record ~label:"32u" () ] in
+  Tutil.check_int "no cell without both labels" 0
+    (List.length
+       (Errors.speedup_cells ~workload:"w" ~pairs:[ ("32u", "32o") ] records))
+
+let test_speedup_zero_denominator_skipped () =
+  let a = record ~label:"32u" ~cycles:3000.0 () in
+  let b = record ~label:"32o" ~cycles:0.0 ~est_cpi:0.0 () in
+  let b = { b with Pipeline.er_truth = truth_of ~insts:1000 ~cycles:0.0 } in
+  match Errors.speedup_cells ~workload:"w" ~pairs:[ ("32u", "32o") ] [ a; b ]
+  with
+  | [ c ] -> Tutil.check_bool "skipped" true (Errors.is_skipped c)
+  | _ -> Alcotest.fail "expected one cell"
+
+let test_truth_table_and_mismatches () =
+  let ra = record ~method_:"fli" ~label:"32u" ~cycles:2000.0 () in
+  let rb = record ~method_:"vli" ~label:"32u" ~cycles:2000.0 () in
+  Tutil.check_int "one entry per label" 1
+    (List.length (Truth.table [ ra; rb ]));
+  Tutil.check_int "agreeing truths: no mismatch" 0
+    (List.length (Truth.mismatches [ ra; rb ]));
+  let rc = record ~method_:"vli" ~label:"32u" ~cycles:2001.0 () in
+  match Truth.mismatches [ ra; rc ] with
+  | [ (m, l) ] ->
+    Alcotest.(check string) "method" "vli" m;
+    Alcotest.(check string) "label" "32u" l
+  | _ -> Alcotest.fail "expected one mismatch"
+
+(* --- aggregation --------------------------------------------------- *)
+
+let test_aggregate_skip_and_count () =
+  let a = Leaderboard.aggregate [ 0.1; Float.nan; 0.3; Float.infinity ] in
+  Tutil.check_int "finite cells" 2 a.Leaderboard.a_n;
+  Tutil.check_int "skipped cells" 2 a.Leaderboard.a_skipped;
+  Tutil.check_close ~eps:1e-12 "mean over finite only" 0.2 a.Leaderboard.a_mean;
+  Tutil.check_close ~eps:1e-12 "max over finite only" 0.3 a.Leaderboard.a_max;
+  Tutil.check_bool "ci present with n=2" true
+    (Float.is_finite a.Leaderboard.a_ci_lo)
+
+let test_aggregate_degenerate () =
+  let empty = Leaderboard.aggregate [ Float.nan ] in
+  Tutil.check_int "no finite cells" 0 empty.Leaderboard.a_n;
+  Tutil.check_bool "mean nan" true (Float.is_nan empty.Leaderboard.a_mean);
+  let single = Leaderboard.aggregate [ 0.25 ] in
+  Tutil.check_close ~eps:1e-12 "single mean" 0.25 single.Leaderboard.a_mean;
+  Tutil.check_bool "single: no CI" true
+    (Float.is_nan single.Leaderboard.a_ci_lo)
+
+(* --- budgets -------------------------------------------------------- *)
+
+let budget_json ~vli_mean =
+  Printf.sprintf
+    {|{"schema":"cbsp-validate-budgets/1",
+       "modes":{"full":{"vli":{"mean_cpi_error":%g}},
+                "smoke":{"vli":{"mean_cpi_error":0.5}}}}|}
+    vli_mean
+
+let board_with_vli_mean matrix = Leaderboard.build matrix
+
+let small_options =
+  { Matrix.default_options with
+    Matrix.mo_target = 8_000; mo_scale = 2; mo_sample_n = 8;
+    mo_sample_seeds = [ 2007 ] }
+
+let small_matrix = lazy (Matrix.run ~options:small_options ~names:[ "gcc" ] ())
+
+let test_budgets_parse_and_check () =
+  let loose = Budgets.of_json ~mode:"full" (Jsonx.of_string (budget_json ~vli_mean:0.9)) in
+  Alcotest.(check string) "mode" "full" loose.Budgets.b_mode;
+  let board = board_with_vli_mean (Lazy.force small_matrix) in
+  Tutil.check_int "loose budget passes" 0
+    (List.length (Budgets.check loose board));
+  let tight =
+    Budgets.of_json ~mode:"full" (Jsonx.of_string (budget_json ~vli_mean:1e-9))
+  in
+  (match Budgets.check tight board with
+  | [ b ] ->
+    Alcotest.(check string) "method" "vli" b.Budgets.br_method;
+    Alcotest.(check string) "metric" "mean_cpi_error" b.Budgets.br_metric;
+    Tutil.check_bool "actual above limit" true
+      (b.Budgets.br_actual > b.Budgets.br_limit)
+  | _ -> Alcotest.fail "expected exactly one breach");
+  match Budgets.of_json ~mode:"nope" (Jsonx.of_string (budget_json ~vli_mean:0.1)) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unknown mode must fail"
+
+let test_budget_nan_actual_breaches () =
+  (* A method with no finite cells must breach, not silently pass. *)
+  let budget =
+    Budgets.of_json ~mode:"full"
+      (Jsonx.of_string
+         {|{"schema":"cbsp-validate-budgets/1",
+            "modes":{"full":{"ghost":{"mean_cpi_error":0.9}}}}|})
+  in
+  let board =
+    { Leaderboard.lb_rows =
+        [ { Leaderboard.r_method = "ghost";
+            r_cpi = Leaderboard.aggregate [ Float.nan ];
+            r_speedup = Leaderboard.aggregate [] } ];
+      lb_coverage =
+        { Leaderboard.cov_expected = 8; cov_evaluated = 0; cov_skipped = 8;
+          cov_failed = 0 } }
+  in
+  Tutil.check_int "nan actual breaches" 1
+    (List.length (Budgets.check budget board))
+
+(* --- the matrix ----------------------------------------------------- *)
+
+let test_matrix_coverage_complete () =
+  let m = Lazy.force small_matrix in
+  let board = Leaderboard.build m in
+  let c = board.Leaderboard.lb_coverage in
+  Tutil.check_int "expected = workloads*methods*(labels+pairs)"
+    (1 * List.length Matrix.methods
+    * (Leaderboard.n_labels + List.length Matrix.pairs))
+    c.Leaderboard.cov_expected;
+  Tutil.check_int "no failures" 0 c.Leaderboard.cov_failed;
+  Tutil.check_int "everything evaluated"
+    c.Leaderboard.cov_expected
+    (c.Leaderboard.cov_evaluated + c.Leaderboard.cov_skipped);
+  Tutil.check_int "no truth mismatches" 0
+    (List.length (Matrix.truth_mismatches m))
+
+let test_matrix_deterministic_across_jobs () =
+  let m1 = Lazy.force small_matrix in
+  let m4 = Matrix.run ~options:small_options ~names:[ "gcc" ] ~jobs:4 () in
+  let doc m = Jsonx.to_string (Leaderboard.to_json m (Leaderboard.build m)) in
+  Alcotest.(check string) "cbsp-validate/1 identical for -j1/-j4" (doc m1)
+    (doc m4)
+
+let test_json_roundtrip () =
+  let m = Lazy.force small_matrix in
+  let j = Leaderboard.to_json ~mode:"full" m (Leaderboard.build m) in
+  let s = Jsonx.to_string j in
+  let j' = Jsonx.of_string s in
+  Alcotest.(check string) "schema survives" "cbsp-validate/1"
+    (Jsonx.str_member "schema" j' ~default:"");
+  (* Reprinting the reparsed document is a fixpoint. *)
+  Alcotest.(check string) "print/parse fixpoint" s (Jsonx.to_string j')
+
+let test_matrix_unknown_workload () =
+  match Matrix.run ~names:[ "no-such" ] () with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown workload must raise before running"
+
+(* --- identical-pair property over real pipelines -------------------- *)
+
+let prop_identical_pair_exact =
+  (* Across generated programs and both FLI and VLI: pairing a binary
+     with itself gives speedup truth exactly 1.0 and error exactly 0.0.
+     Real pipeline runs, so the count stays small. *)
+  QCheck.Test.make ~name:"identical pair exact across fli/vli" ~count:4
+    QCheck.(pair (int_range 3 9) (int_range 20 60))
+    (fun (trips, insts) ->
+      let program = Tutil.single_loop_program ~trips ~insts () in
+      let configs = Tutil.paper_configs () in
+      let input = Tutil.test_input in
+      let target = 5_000 in
+      let fli = Pipeline.run_fli program ~configs ~input ~target in
+      let vli = Pipeline.run_vli program ~configs ~input ~target in
+      let records =
+        Pipeline.estimate_records_fli fli @ Pipeline.estimate_records_vli vli
+      in
+      let pairs =
+        List.map
+          (fun (r : Pipeline.estimate_record) ->
+            (r.Pipeline.er_label, r.Pipeline.er_label))
+          records
+      in
+      let cells = Errors.speedup_cells ~workload:"p" ~pairs records in
+      cells <> []
+      && List.for_all
+           (fun (c : Errors.cell) ->
+             c.Errors.cl_truth = 1.0 && c.Errors.cl_estimate = 1.0
+             && c.Errors.cl_error = 0.0)
+           cells)
+
+(* --- estimate records ----------------------------------------------- *)
+
+let test_estimate_records () =
+  let program = Tutil.two_phase_program () in
+  let configs = Tutil.paper_configs () in
+  let input = Tutil.test_input in
+  let target = 10_000 in
+  let fli = Pipeline.run_fli program ~configs ~input ~target in
+  let records = Pipeline.estimate_records_fli fli in
+  Tutil.check_int "one record per binary" (List.length configs)
+    (List.length records);
+  List.iter2
+    (fun (br : Pipeline.binary_result) (r : Pipeline.estimate_record) ->
+      Alcotest.(check string) "method" "fli" r.Pipeline.er_method;
+      Tutil.check_float "est cpi" br.Pipeline.br_est_cpi r.Pipeline.er_est_cpi;
+      Tutil.check_float "est cycles" br.Pipeline.br_est_cycles
+        r.Pipeline.er_est_cycles)
+    fli.Pipeline.fli_binaries records;
+  let vli = Pipeline.run_vli program ~configs ~input ~target in
+  (match Pipeline.estimate_records_vli ~method_:"vli-static" vli with
+  | r :: _ ->
+    Alcotest.(check string) "renamed method" "vli-static" r.Pipeline.er_method
+  | [] -> Alcotest.fail "no vli records");
+  let sampling =
+    Pipeline.run_sampling ~seeds:[ 2007; 2008 ] program ~configs ~input
+      ~target ~n:8
+  in
+  let srecords = Pipeline.estimate_records_sampling sampling in
+  Tutil.check_int "binaries x methods"
+    (List.length configs * List.length Pipeline.sampling_methods)
+    (List.length srecords)
+
+let () =
+  Alcotest.run "validate"
+    [ ( "cells",
+        [ Tutil.quick "cpi cells" test_cpi_cells;
+          Tutil.quick "zero truth skipped" test_cpi_cell_zero_truth_skipped;
+          Tutil.quick "speedup cells" test_speedup_cells;
+          Tutil.quick "identical pair exact" test_identical_pair_exact;
+          Tutil.quick "missing label dropped" test_speedup_missing_label_dropped;
+          Tutil.quick "zero denominator skipped"
+            test_speedup_zero_denominator_skipped;
+          Tutil.quick "truth table" test_truth_table_and_mismatches ] );
+      ( "aggregation",
+        [ Tutil.quick "skip and count" test_aggregate_skip_and_count;
+          Tutil.quick "degenerate aggregates" test_aggregate_degenerate ] );
+      ( "budgets",
+        [ Tutil.quick "parse and check" test_budgets_parse_and_check;
+          Tutil.quick "nan actual breaches" test_budget_nan_actual_breaches ] );
+      ( "matrix",
+        [ Tutil.quick "coverage complete" test_matrix_coverage_complete;
+          Tutil.quick "deterministic across jobs"
+            test_matrix_deterministic_across_jobs;
+          Tutil.quick "json roundtrip" test_json_roundtrip;
+          Tutil.quick "unknown workload" test_matrix_unknown_workload;
+          Tutil.quick "estimate records" test_estimate_records ] );
+      ( "properties",
+        [ Tutil.qcheck_case prop_identical_pair_exact ] ) ]
