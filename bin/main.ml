@@ -269,7 +269,8 @@ let print_metrics label (r : Pipeline.binary_result) =
 
 let run_cmd =
   let run name target scale seed max_k primary rep search metrics jobs timing
-      smoke static trace manifest =
+      smoke static semantic trace manifest =
+    let static = static || semantic in
     let name =
       match (name, smoke) with
       | Some n, _ -> n
@@ -305,8 +306,8 @@ let run_cmd =
       Pipeline.run_fli ~sp_config ~engine program ~configs ~input ~target
     in
     let vli =
-      Pipeline.run_vli ~sp_config ~primary ~static ~engine program ~configs
-        ~input ~target
+      Pipeline.run_vli ~sp_config ~primary ~static ~semantic ~engine program
+        ~configs ~input ~target
     in
     Fmt.pr "== %s (target=%d, scale=%d)@." name target scale;
     Fmt.pr "mappable keys: %d of %d candidates; %d VLI boundaries@."
@@ -352,12 +353,19 @@ let run_cmd =
              ~doc:"Use the static mappability prover for VLI matching; \
                    profile only the markers it cannot decide.")
   in
+  let semantic_arg =
+    Arg.(value & flag
+         & info [ "semantic" ]
+             ~doc:"Additionally recover markers lost to loop splitting by \
+                   semantic (fingerprint) matching; implies --static.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run both SimPoint methods on one workload and compare them")
     Term.(const run $ name_arg $ target_arg $ scale_arg $ seed_arg $ max_k_arg
           $ primary_arg $ rep_arg $ search_arg $ metrics_arg $ jobs_arg
-          $ timing_arg $ smoke_arg $ static_arg $ trace_arg $ manifest_arg)
+          $ timing_arg $ smoke_arg $ static_arg $ semantic_arg $ trace_arg
+          $ manifest_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -844,7 +852,7 @@ let points_cmd =
 (* lint: static analysis over workloads and points files               *)
 
 let lint_cmd =
-  let run workloads scale json points_path =
+  let run workloads scale json points_path semantic =
     let names =
       workload_names (match workloads with [] -> None | ws -> Some ws)
     in
@@ -867,7 +875,7 @@ let lint_cmd =
             List.map (Cbsp_compiler.Lower.compile program) configs
           in
           let report = Prover.prove ~binaries ~scale in
-          reports := report :: !reports;
+          reports := (name, report) :: !reports;
           add (Lint.check_binaries ~workload:name ~scale ~report binaries)
         end)
       names;
@@ -885,11 +893,26 @@ let lint_cmd =
       add
         (Lint.check_points ~workload:header.Cbsp.Points_file.h_program ~markers));
     let findings = !findings in
-    let totals = Lint.totals_of_reports (List.rev !reports) in
+    let reports = List.rev !reports in
+    let totals = Lint.totals_of_reports (List.map snd reports) in
+    let semantic_stats =
+      if semantic then
+        Some
+          (List.map
+             (fun (name, report) -> Lint.semantic_stat ~workload:name report)
+             reports)
+      else None
+    in
     Fmt.pr "== lint: %d workload%s, scale %d@." (List.length names)
       (if List.length names = 1 then "" else "s")
       scale;
     List.iter (fun f -> Fmt.pr "%a@." Lint.pp_finding f) findings;
+    (match semantic_stats with
+    | None -> ()
+    | Some stats ->
+      Fmt.pr "recovered mappability (semantic matching over split-lost \
+              markers):@.";
+      List.iter (fun s -> Fmt.pr "  %a@." Lint.pp_semantic_stat s) stats);
     let count sev =
       List.length (List.filter (fun f -> f.Lint.f_severity = sev) findings)
     in
@@ -912,7 +935,9 @@ let lint_cmd =
     | None -> ()
     | Some path ->
       Cbsp_util.Io.with_out_file path (fun oc ->
-          output_string oc (Lint.to_json ~scale ~workloads:names ~totals findings));
+          output_string oc
+            (Lint.to_json ~scale ~workloads:names ~totals
+               ?semantic:semantic_stats findings));
       Fmt.pr "wrote %s@." path);
     if count Lint.Error > 0 then exit 1
   in
@@ -933,11 +958,20 @@ let lint_cmd =
              ~doc:"Also lint a simulation-points file for mangled-marker \
                    leakage.")
   in
+  let semantic_arg =
+    Arg.(value & flag
+         & info [ "semantic" ]
+             ~doc:"Also run the semantic (fingerprint) matching pass over \
+                   the markers the prover lost to loop splitting and \
+                   report per-workload recovered mappability: lost / \
+                   identified / order-safe / demoted.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically analyze workloads: mappability proofs and program \
              diagnostics (exit 1 on error findings)")
-    Term.(const run $ names_arg $ scale_arg $ json_arg $ points_arg)
+    Term.(const run $ names_arg $ scale_arg $ json_arg $ points_arg
+          $ semantic_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dump-bbv / trace: the offline tooling                               *)

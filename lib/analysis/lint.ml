@@ -185,6 +185,34 @@ type analysis_totals = {
   at_needs_dynamic : int;
 }
 
+type semantic_stat = {
+  ss_workload : string;
+  ss_lost : int;
+  ss_identified : int;
+  ss_cuttable : int;
+  ss_demoted : int;
+}
+
+let semantic_stat ~workload report =
+  let rc = Fingerprint.recover report in
+  { ss_workload = workload; ss_lost = Fingerprint.n_lost rc;
+    ss_identified = Fingerprint.n_identified rc;
+    ss_cuttable = Fingerprint.n_cuttable rc;
+    ss_demoted = Marker.Set.cardinal rc.Fingerprint.rc_demoted }
+
+let recovered_fraction s =
+  if s.ss_lost = 0 then 1.0
+  else float_of_int s.ss_identified /. float_of_int s.ss_lost
+
+let pp_semantic_stat ppf s =
+  Fmt.pf ppf
+    "%s: %d split-lost marker%s, %d identified (%.0f%%), %d order-safe, %d demoted"
+    s.ss_workload s.ss_lost
+    (if s.ss_lost = 1 then "" else "s")
+    s.ss_identified
+    (100.0 *. recovered_fraction s)
+    s.ss_cuttable s.ss_demoted
+
 let totals_of_reports reports =
   List.fold_left
     (fun acc (r : Prover.report) ->
@@ -212,7 +240,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let to_json ~scale ~workloads ~totals findings =
+let to_json ~scale ~workloads ~totals ?semantic findings =
   let buf = Buffer.create 4096 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   addf "{\n  \"schema\": \"cbsp-lint/1\",\n";
@@ -236,6 +264,19 @@ let to_json ~scale ~workloads ~totals findings =
     "  \"analysis\": { \"candidates\": %d, \"proved_mappable\": %d, \"proved_unmappable\": %d, \"needs_dynamic\": %d },\n"
     totals.at_candidates totals.at_proved_mappable totals.at_proved_unmappable
     totals.at_needs_dynamic;
+  (match semantic with
+  | None -> ()
+  | Some stats ->
+    addf "  \"semantic\": [";
+    List.iteri
+      (fun i s ->
+        addf
+          "%s\n    { \"workload\": \"%s\", \"lost\": %d, \"identified\": %d, \"order_safe\": %d, \"demoted\": %d, \"recovered_fraction\": %.4f }"
+          (if i = 0 then "" else ",")
+          (json_escape s.ss_workload) s.ss_lost s.ss_identified s.ss_cuttable
+          s.ss_demoted (recovered_fraction s))
+      stats;
+    addf "%s],\n" (if stats = [] then "" else "\n  "));
   let count sev = List.length (List.filter (fun f -> f.f_severity = sev) findings) in
   addf "  \"summary\": { \"error\": %d, \"warning\": %d, \"info\": %d }\n"
     (count Error) (count Warning) (count Info);

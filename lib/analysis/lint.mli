@@ -64,12 +64,32 @@ type analysis_totals = {
 
 val totals_of_reports : Prover.report list -> analysis_totals
 
+type semantic_stat = {
+  ss_workload : string;
+  ss_lost : int;        (** Loop keys proved unmappable by splitting. *)
+  ss_identified : int;  (** Re-paired by {!Fingerprint.recover}. *)
+  ss_cuttable : int;    (** Identified AND order-safe (usable as cuts). *)
+  ss_demoted : int;     (** Exact matches dropped for order safety. *)
+}
+(** Per-workload recovered-mappability, for [cbsp lint --semantic]. *)
+
+val semantic_stat : workload:string -> Prover.report -> semantic_stat
+(** Runs {!Fingerprint.recover} over the report and summarizes it. *)
+
+val recovered_fraction : semantic_stat -> float
+(** [identified / lost]; [1.0] when nothing was lost. *)
+
+val pp_semantic_stat : Format.formatter -> semantic_stat -> unit
+
 val to_json :
   scale:int ->
   workloads:string list ->
   totals:analysis_totals ->
+  ?semantic:semantic_stat list ->
   finding list ->
   string
 (** The [cbsp-lint/1] report: schema, scale, workloads, findings (with
     severity / rule / line / message), aggregate prover totals, and a
-    per-severity summary. *)
+    per-severity summary.  [semantic], when given, adds a per-workload
+    recovered-mappability array (additive field; reports without it are
+    byte-identical to before). *)

@@ -84,8 +84,7 @@ let find ?options ?restrict ~binaries ~profiles () =
       (fun profile ->
         Marker.Map.iter
           (fun key _ ->
-            if not (Marker.is_mangled key) then
-              candidates := Marker.Set.add key !candidates)
+            if eligible key then candidates := Marker.Set.add key !candidates)
           profile)
       profiles;
     let agreed =

@@ -34,7 +34,12 @@ type t = {
   keys : Cbsp_compiler.Marker.Set.t;
   counts : int Cbsp_compiler.Marker.Map.t;
       (** The agreed execution count of every mappable key. *)
-  candidates : int;  (** Distinct unmangled keys seen across binaries. *)
+  candidates : int;
+      (** Distinct eligible keys seen across binaries — the denominator of
+          "X mappable of Y candidates".  {!find} counts keys through the
+          same eligibility filter it matches with (options and
+          [restrict] included), so disabling a marker kind or restricting
+          to a residue shrinks the denominator too. *)
 }
 
 val eligibility :
@@ -60,8 +65,9 @@ val find :
 
     [restrict], when given, limits the mappable keys to members of the
     set — used by the pipeline to match only the residue the static
-    prover could not decide.  [candidates] still counts every unmangled
-    key seen in the profiles. *)
+    prover could not decide.  [candidates] is counted through the same
+    filter: only keys that pass the options eligibility *and* the
+    [restrict] set contribute to the denominator. *)
 
 val of_counts : counts:int Cbsp_compiler.Marker.Map.t -> candidates:int -> t
 (** Build a matching directly from agreed per-key counts — the static

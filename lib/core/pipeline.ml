@@ -18,6 +18,7 @@ module Sampler = Cbsp_sampling.Sampler
 module Strata = Cbsp_sampling.Strata
 module Tracer = Cbsp_obs.Tracer
 module Prover = Cbsp_analysis.Prover
+module Fingerprint = Cbsp_analysis.Fingerprint
 
 type truth = { t_insts : int; t_cycles : float; t_cpi : float }
 
@@ -477,18 +478,26 @@ let m_dynamic_fallbacks = lazy (Cbsp_obs.Metrics.counter "analysis.dynamic_fallb
    remains.  The proved verdicts are filtered through the same
    eligibility rules a dynamic match under [match_options] would apply,
    so ablations stay comparable. *)
-let static_matching eng program ~match_options ~binaries ~input =
+let static_report eng program ~binaries ~input =
   let prog_name = program.Cbsp_source.Ast.prog_name in
-  let report =
-    Timing.time eng.eng_timing ~stage:Stage.Analysis
-      ~label:(prog_name ^ "/static") ~in_size:(List.length binaries)
-      ~out_size:(fun r -> Marker.Map.cardinal r.Prover.pr_verdicts)
-      (fun () ->
-        Prover.prove ~binaries ~scale:input.Cbsp_source.Input.scale)
-  in
+  Timing.time eng.eng_timing ~stage:Stage.Analysis
+    ~label:(prog_name ^ "/static") ~in_size:(List.length binaries)
+    ~out_size:(fun r -> Marker.Map.cardinal r.Prover.pr_verdicts)
+    (fun () -> Prover.prove ~binaries ~scale:input.Cbsp_source.Input.scale)
+
+let static_matching_of_report eng program ~match_options ~binaries ~input
+    report =
+  let prog_name = program.Cbsp_source.Ast.prog_name in
   let eligible = Matching.eligibility ?options:match_options ~binaries () in
   let proved =
     Marker.Map.filter (fun key _ -> eligible key) report.Prover.pr_proved
+  in
+  (* One denominator for both branches below, counted through the same
+     eligibility filter a dynamic match applies — [Matching.find]'s
+     restricted candidate count would cover only the residue. *)
+  let candidates =
+    Marker.Map.cardinal
+      (Marker.Map.filter (fun key _ -> eligible key) report.Prover.pr_verdicts)
   in
   let residue = Prover.residue report in
   if Marker.Set.is_empty residue then begin
@@ -496,7 +505,7 @@ let static_matching eng program ~match_options ~binaries ~input =
        all for this workload. *)
     Cbsp_obs.Metrics.incr ~by:(List.length binaries)
       (Lazy.force m_profile_skips);
-    Matching.of_counts ~counts:proved ~candidates:report.Prover.pr_candidates
+    Matching.of_counts ~counts:proved ~candidates
   end
   else begin
     Cbsp_obs.Metrics.incr (Lazy.force m_dynamic_fallbacks);
@@ -517,11 +526,77 @@ let static_matching eng program ~match_options ~binaries ~input =
       ~counts:
         (Marker.Map.union (fun _ proved _ -> Some proved) proved
            dyn.Matching.counts)
-      ~candidates:dyn.Matching.candidates
+      ~candidates
   end
 
+let static_matching eng program ~match_options ~binaries ~input =
+  static_matching_of_report eng program ~match_options ~binaries ~input
+    (static_report eng program ~binaries ~input)
+
+let m_semantic_lost = lazy (Cbsp_obs.Metrics.counter "match.semantic_lost")
+
+let m_semantic_identified =
+  lazy (Cbsp_obs.Metrics.counter "match.semantic_identified")
+
+let m_semantic_recovered =
+  lazy (Cbsp_obs.Metrics.counter "match.semantic_recovered")
+
+let m_semantic_demoted = lazy (Cbsp_obs.Metrics.counter "match.semantic_demoted")
+
+(* The semantic mode: static matching, then fingerprint recovery over
+   the markers the prover lost to loop splitting.  Only order-safe
+   (cuttable) pairs join the cut set, and exactly-matched keys the
+   fission displaced are demoted from it — otherwise a recorded boundary
+   list can be unreachable in a split follower (see Fingerprint). *)
+let semantic_matching eng program ~match_options ~binaries ~input =
+  let prog_name = program.Cbsp_source.Ast.prog_name in
+  let report = static_report eng program ~binaries ~input in
+  let base =
+    static_matching_of_report eng program ~match_options ~binaries ~input
+      report
+  in
+  let recovery =
+    Timing.time eng.eng_timing ~stage:Stage.Fingerprint
+      ~label:(prog_name ^ "/semantic")
+      ~in_size:(Marker.Map.cardinal report.Prover.pr_verdicts)
+      ~out_size:Fingerprint.n_cuttable
+      (fun () -> Fingerprint.recover report)
+  in
+  Cbsp_obs.Metrics.incr ~by:(Fingerprint.n_lost recovery)
+    (Lazy.force m_semantic_lost);
+  Cbsp_obs.Metrics.incr ~by:(Fingerprint.n_identified recovery)
+    (Lazy.force m_semantic_identified);
+  Cbsp_obs.Metrics.incr ~by:(Fingerprint.n_cuttable recovery)
+    (Lazy.force m_semantic_recovered);
+  Cbsp_obs.Metrics.incr
+    ~by:(Marker.Set.cardinal recovery.Fingerprint.rc_demoted)
+    (Lazy.force m_semantic_demoted);
+  let demoted = recovery.Fingerprint.rc_demoted in
+  let counts =
+    Marker.Map.union
+      (fun _ base _ -> Some base)
+      (Marker.Map.filter
+         (fun key _ -> not (Marker.Set.mem key demoted))
+         base.Matching.counts)
+      (Fingerprint.cut_counts recovery)
+  in
+  ( Matching.of_counts ~counts ~candidates:base.Matching.candidates,
+    Fingerprint.translations recovery )
+
+(* Rewrite recorded boundary keys through a translation map (identity
+   entries are omitted from the maps, so most runs touch nothing). *)
+let translate_boundaries map boundaries =
+  if Marker.Map.is_empty map then boundaries
+  else
+    Array.map
+      (fun (b : Interval.boundary) ->
+        match Marker.Map.find_opt b.Interval.bd_key map with
+        | Some key -> { b with Interval.bd_key = key }
+        | None -> b)
+      boundaries
+
 let run_vli_uncached ~sp_config ~cache_config ~match_options ~primary ~static
-    ~materialize ~eng program ~configs ~input ~target =
+    ~semantic ~materialize ~eng program ~configs ~input ~target =
   let prog_name = program.Cbsp_source.Ast.prog_name in
   Tracer.with_span ~name:"run_vli" ~cat:"pipeline"
     ~attrs:[ ("program", prog_name) ]
@@ -529,8 +604,11 @@ let run_vli_uncached ~sp_config ~cache_config ~match_options ~primary ~static
   let binaries =
     Scheduler.parallel_map ~jobs:eng.eng_jobs (compile eng program) configs
   in
-  let mappable =
-    if static then static_matching eng program ~match_options ~binaries ~input
+  let mappable, translations =
+    if semantic then
+      semantic_matching eng program ~match_options ~binaries ~input
+    else if static then
+      (static_matching eng program ~match_options ~binaries ~input, [||])
     else begin
       (* Step 1: call & branch profile of every binary (memoized; one job
          per binary). *)
@@ -540,11 +618,33 @@ let run_vli_uncached ~sp_config ~cache_config ~match_options ~primary ~static
           binaries
       in
       (* Step 2: mappable points across all binaries. *)
-      Timing.time eng.eng_timing ~stage:Stage.Matching ~label:(prog_name ^ "/vli")
-        ~in_size:(List.fold_left (fun a p -> a + Marker.Map.cardinal p) 0 profiles)
-        ~out_size:(fun m -> Matching.cardinal m)
-        (fun () -> Matching.find ?options:match_options ~binaries ~profiles ())
+      ( Timing.time eng.eng_timing ~stage:Stage.Matching
+          ~label:(prog_name ^ "/vli")
+          ~in_size:
+            (List.fold_left (fun a p -> a + Marker.Map.cardinal p) 0 profiles)
+          ~out_size:(fun m -> Matching.cardinal m)
+          (fun () -> Matching.find ?options:match_options ~binaries ~profiles ()),
+        [||] )
     end
+  in
+  (* Per binary: canonical <-> local key maps for recovered markers
+     (empty outside semantic mode).  The recorder tests primary-local
+     keys, the boundary list is stored canonically, and each follower
+     replays it under its own local names. *)
+  let to_local j =
+    if j < Array.length translations then fst translations.(j)
+    else Marker.Map.empty
+  in
+  let to_canon j =
+    if j < Array.length translations then snd translations.(j)
+    else Marker.Map.empty
+  in
+  let primary_to_canon = to_canon primary in
+  let is_cut key =
+    Matching.is_mappable mappable
+      (match Marker.Map.find_opt key primary_to_canon with
+      | Some canonical -> canonical
+      | None -> key)
   in
   (* Steps 3-4: VLIs and simulation points on the primary binary. *)
   let primary_binary = List.nth binaries primary in
@@ -556,7 +656,7 @@ let run_vli_uncached ~sp_config ~cache_config ~match_options ~primary ~static
     if materialize then begin
       let robs, read =
         Interval.vli_recorder ~n_blocks:primary_binary.Binary.n_blocks ~target
-          ~mappable:(Matching.is_mappable mappable)
+          ~mappable:is_cut
           ~cycles:(fun () -> Cpu.cycles primary_cpu)
           ~extras:(fun () -> Cpu.extra_counters primary_cpu)
           ()
@@ -585,7 +685,7 @@ let run_vli_uncached ~sp_config ~cache_config ~match_options ~primary ~static
       let robs, finish =
         Interval.vli_recorder_stream
           ~n_blocks:primary_binary.Binary.n_blocks ~target
-          ~mappable:(Matching.is_mappable mappable)
+          ~mappable:is_cut
           ~cycles:(fun () -> Cpu.cycles primary_cpu)
           ~extras:(fun () -> Cpu.extra_counters primary_cpu)
           ~emit:(Streamprof.emit col) ()
@@ -608,6 +708,9 @@ let run_vli_uncached ~sp_config ~cache_config ~match_options ~primary ~static
         boundaries )
     end
   in
+  (* Store the boundary list under canonical key names; each follower
+     replays it under its own local names. *)
+  let boundaries = translate_boundaries primary_to_canon boundaries in
   let clustering =
     timed_cluster eng ~label:primary_label ~sp_config
       ~n_intervals:(Array.length primary_stats) primary_cluster_fn
@@ -635,7 +738,8 @@ let run_vli_uncached ~sp_config ~cache_config ~match_options ~primary ~static
              the differential test's sake. *)
           let col = Streamprof.create_stats_only () in
           let fobs, finish =
-            Interval.vli_follower_stream ~boundaries
+            Interval.vli_follower_stream
+              ~boundaries:(translate_boundaries (to_local i) boundaries)
               ~cycles:(fun () -> Cpu.cycles cpu)
               ~extras:(fun () -> Cpu.extra_counters cpu)
               ~emit:(Streamprof.emit col) ()
@@ -674,26 +778,26 @@ let run_vli_uncached ~sp_config ~cache_config ~match_options ~primary ~static
         pt_phase_of = clustering.cl_phase_of; pt_reps = clustering.cl_reps } }
 
 let run_vli ?(sp_config = Simpoint.default_config) ?cache_config ?match_options
-    ?(primary = 0) ?(static = false) ?(materialize = false) ?engine program
-    ~configs ~input ~target =
+    ?(primary = 0) ?(static = false) ?(semantic = false) ?(materialize = false)
+    ?engine program ~configs ~input ~target =
   let n = List.length configs in
   if n = 0 then invalid_arg "Pipeline.run_vli: no configs";
   if primary < 0 || primary >= n then invalid_arg "Pipeline.run_vli: bad primary";
   let eng = match engine with Some e -> e | None -> create_engine () in
   let go () =
     run_vli_uncached ~sp_config ~cache_config ~match_options ~primary ~static
-      ~materialize ~eng program ~configs ~input ~target
+      ~semantic ~materialize ~eng program ~configs ~input ~target
   in
   match eng.eng_results with
   | None -> go ()
   | Some rc ->
     (* [materialize] is deliberately absent from the key (bit-identical
-       regimes); [static] is included because it changes which markers
-       the matching decides, not just how fast. *)
+       regimes); [static] and [semantic] are included because they change
+       which markers the matching decides, not just how fast. *)
     let key =
       Store.digest
-        ( "vli/1", program, configs, input, target, sp_config, cache_config,
-          match_options, primary, static )
+        ( "vli/2", program, configs, input, target, sp_config, cache_config,
+          match_options, primary, static, semantic )
     in
     Store.find_or_compute rc.rc_vli ~key go
 

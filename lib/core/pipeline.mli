@@ -232,6 +232,7 @@ val run_vli :
   ?match_options:Matching.options ->
   ?primary:int ->
   ?static:bool ->
+  ?semantic:bool ->
   ?materialize:bool ->
   ?engine:engine ->
   Cbsp_source.Ast.program ->
@@ -252,6 +253,18 @@ val run_vli :
     The resulting {!Matching.t} agrees with the dynamic one on every
     decided marker (the prover is sound), and the [analysis.*] metrics
     record proved / undecided / profile-skip counts.
+
+    [semantic] (default false, implies the static path) additionally
+    runs {!Cbsp_analysis.Fingerprint} over the markers the prover lost
+    to loop splitting: lost loops are re-paired with the optimizer's
+    mangled fragments by structural fingerprint similarity, verified
+    against the symbolic count domain, and the order-safe recoveries
+    join the cut set.  Recorded boundaries are stored under canonical
+    (unmangled) key names and translated into each binary's local
+    (possibly mangled) names before a follower replays them, so
+    [vli_points] stays binary-independent.  A [fingerprint] timing
+    stage and the [match.semantic_*] metrics (lost / identified /
+    recovered / demoted) record the pass.
     @raise Invalid_argument if [primary] is out of range or [configs] is
     empty. *)
 

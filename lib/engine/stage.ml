@@ -3,6 +3,7 @@ type t =
   | Analysis
   | Struct_profile
   | Matching
+  | Fingerprint
   | Interval_collection
   | Clustering
   | Summarize
@@ -14,6 +15,7 @@ let name = function
   | Analysis -> "analysis"
   | Struct_profile -> "struct-profile"
   | Matching -> "matching"
+  | Fingerprint -> "fingerprint"
   | Interval_collection -> "interval-collection"
   | Clustering -> "clustering"
   | Summarize -> "summarize"
@@ -21,18 +23,19 @@ let name = function
   | Validate -> "validate"
 
 let all =
-  [ Compile; Analysis; Struct_profile; Matching; Interval_collection;
-    Clustering; Summarize; Sampling; Validate ]
+  [ Compile; Analysis; Struct_profile; Matching; Fingerprint;
+    Interval_collection; Clustering; Summarize; Sampling; Validate ]
 
 let index = function
   | Compile -> 0
   | Analysis -> 1
   | Struct_profile -> 2
   | Matching -> 3
-  | Interval_collection -> 4
-  | Clustering -> 5
-  | Summarize -> 6
-  | Sampling -> 7
-  | Validate -> 8
+  | Fingerprint -> 4
+  | Interval_collection -> 5
+  | Clustering -> 6
+  | Summarize -> 7
+  | Sampling -> 8
+  | Validate -> 9
 
 let compare a b = Int.compare (index a) (index b)

@@ -13,6 +13,7 @@ type t =
   | Analysis            (** Static mappability proving (symbolic counts). *)
   | Struct_profile      (** Call-and-branch structure profile (VLI step 1). *)
   | Matching            (** Mappable-point intersection (VLI step 2). *)
+  | Fingerprint         (** Semantic marker recovery over lost markers. *)
   | Interval_collection (** Full execution with interval observers. *)
   | Clustering          (** SimPoint k-means / BIC on the BBVs. *)
   | Summarize           (** Per-binary weights, CPI estimate, metrics. *)

@@ -171,14 +171,27 @@ let geomean xs =
     xs;
   exp (!acc /. float_of_int (Array.length xs))
 
+(* nans sort after every finite value (the polymorphic [compare] puts
+   them first, silently shifting every quantile of a poisoned array), so
+   low percentiles of a partially-poisoned array still read the finite
+   values and a fully-poisoned array reads nan. *)
+let compare_nan_last a b =
+  match (Float.is_nan a, Float.is_nan b) with
+  | true, true -> 0
+  | true, false -> 1
+  | false, true -> -1
+  | false, false -> Float.compare a b
+
 let sorted_copy xs =
   let ys = Array.copy xs in
-  Array.sort compare ys;
+  Array.sort compare_nan_last ys;
   ys
 
 let percentile xs ~p =
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p must be in [0, 100]";
   let n = Array.length xs in
-  if n = 0 then 0.0
+  if n = 0 then Float.nan
   else begin
     let ys = sorted_copy xs in
     let rank = p /. 100.0 *. float_of_int (n - 1) in

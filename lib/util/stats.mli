@@ -36,10 +36,16 @@ val geomean : float array -> float
     @raise Invalid_argument if any value is <= 0. *)
 
 val median : float array -> float
-(** Median (does not modify the input); 0 for the empty array. *)
+(** [percentile ~p:50.0] (does not modify the input); nan for the empty
+    array. *)
 
 val percentile : float array -> p:float -> float
-(** Linear-interpolation percentile, [p] in [0, 100]. *)
+(** Linear-interpolation percentile.  Total over the array contents, and
+    consistent with {!relative_error}'s nan contract: nan for the empty
+    array, and nan elements sort after every finite value (so quantiles
+    of a partially-poisoned array read the finite values first, and a
+    fully-poisoned array reads nan).  Does not modify the input.
+    @raise Invalid_argument unless [p] is in [[0, 100]]. *)
 
 val relative_error : truth:float -> estimate:float -> float
 (** [|truth - estimate| / |truth|]; the paper's CPI-error and

@@ -25,7 +25,8 @@ let default_options =
     mo_max_k = 10; mo_level = 0.95; mo_sample_n = 64;
     mo_sample_seeds = [ 2007; 2008; 2009 ] }
 
-let methods = [ "fli"; "vli"; "vli-static" ] @ Pipeline.sampling_methods
+let methods =
+  [ "fli"; "vli"; "vli-static"; "vli-recovered" ] @ Pipeline.sampling_methods
 
 let pairs =
   Experiment.paper_pairs_same_platform @ Experiment.paper_pairs_cross_platform
@@ -93,6 +94,12 @@ let run_workload ~engine ~options name =
           (Pipeline.run_vli ~sp_config ~static:true ~engine program ~configs
              ~input ~target))
   in
+  let vli_recovered =
+    group ~failed ~names:[ "vli-recovered" ] (fun () ->
+        Pipeline.estimate_records_vli ~method_:"vli-recovered"
+          (Pipeline.run_vli ~sp_config ~static:true ~semantic:true ~engine
+             program ~configs ~input ~target))
+  in
   let sampling =
     group ~failed ~names:Pipeline.sampling_methods (fun () ->
         Pipeline.estimate_records_sampling
@@ -100,7 +107,7 @@ let run_workload ~engine ~options name =
              ~seeds:options.mo_sample_seeds program ~configs ~input ~target
              ~n:options.mo_sample_n))
   in
-  let records = fli @ vli @ vli_static @ sampling in
+  let records = fli @ vli @ vli_static @ vli_recovered @ sampling in
   (* Only the error arithmetic runs under Stage.Validate — the pipeline
      work above already timed itself under its own stages, and a
      validate job that re-covered them would double-count the run. *)

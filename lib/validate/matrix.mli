@@ -25,9 +25,11 @@ val default_options : options
     level 0.95, n 64, seeds [2007; 2008; 2009]. *)
 
 val methods : string list
-(** The seven scored methods:
-    [["fli"; "vli"; "vli-static"]] followed by
-    {!Cbsp.Pipeline.sampling_methods}. *)
+(** The eight scored methods:
+    [["fli"; "vli"; "vli-static"; "vli-recovered"]] followed by
+    {!Cbsp.Pipeline.sampling_methods}.  ["vli-recovered"] is the static
+    VLI with {!Cbsp_analysis.Fingerprint} semantic recovery of
+    split-lost markers ([Pipeline.run_vli ~static:true ~semantic:true]). *)
 
 val pairs : (string * string) list
 (** The paper's four speedup pairs: same-platform (32u->32o, 64u->64o)

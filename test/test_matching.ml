@@ -159,6 +159,61 @@ let test_candidates_superset () =
   Tutil.check_bool "candidates >= mappable" true
     (mappable.Matching.candidates >= Matching.cardinal mappable)
 
+(* Regression: candidates used to count every unmangled key regardless of
+   the options/restrict filter, inflating the "X of Y mappable"
+   denominator whenever a marker kind was disabled or the match was
+   restricted to a residue. *)
+let test_candidates_follow_options () =
+  let program = Tutil.two_phase_program () in
+  let default, binaries = find program in
+  let no_back, _ =
+    find
+      ~options:{ Matching.default_options with Matching.use_loop_back = false }
+      program
+  in
+  (* counting the back-edge keys the filter removed, via the profiles *)
+  let profiles = List.map (fun b -> Structprof.profile b input) binaries in
+  let backs =
+    List.fold_left
+      (fun acc p ->
+        List.fold_left
+          (fun acc key ->
+            match key with
+            | Marker.Loop_back _ when not (Marker.is_mangled key) ->
+              Marker.Set.add key acc
+            | _ -> acc)
+          acc (Structprof.keys p))
+      Marker.Set.empty profiles
+  in
+  Tutil.check_bool "program has back-edge candidates" true
+    (not (Marker.Set.is_empty backs));
+  Tutil.check_int "disabling a kind shrinks the denominator"
+    (default.Matching.candidates - Marker.Set.cardinal backs)
+    no_back.Matching.candidates
+
+let test_candidates_follow_restrict () =
+  let program = Tutil.two_phase_program () in
+  let binaries = Tutil.compile_all program in
+  let profiles = List.map (fun b -> Structprof.profile b input) binaries in
+  let restrict =
+    Marker.Set.of_list
+      [ Marker.Proc_entry "main"; Marker.Proc_entry "memory" ]
+  in
+  let restricted =
+    Matching.find ~restrict ~binaries ~profiles ()
+  in
+  Tutil.check_int "denominator is the restricted set" 2
+    restricted.Matching.candidates;
+  Tutil.check_int "both restricted keys match" 2
+    (Matching.cardinal restricted);
+  (* empty restriction: nothing to match, nothing to count *)
+  let none =
+    Matching.find ~restrict:Marker.Set.empty ~binaries ~profiles ()
+  in
+  Tutil.check_int "empty restrict means zero candidates" 0
+    none.Matching.candidates;
+  Tutil.check_int "and zero matches" 0 (Matching.cardinal none)
+
 let () =
   Alcotest.run "matching"
     [ ( "intersection",
@@ -170,7 +225,9 @@ let () =
           Tutil.quick "mangled excluded" test_mangled_never_mappable;
           Tutil.quick "counts recorded" test_counts_recorded;
           Tutil.quick "single binary" test_single_binary_all_mappable;
-          Tutil.quick "candidates superset" test_candidates_superset ] );
+          Tutil.quick "candidates superset" test_candidates_superset;
+          Tutil.quick "candidates follow options" test_candidates_follow_options;
+          Tutil.quick "candidates follow restrict" test_candidates_follow_restrict ] );
       ( "options",
         [ Tutil.quick "marker kinds" test_marker_kind_options;
           Tutil.quick "invalid args" test_invalid_args ] ) ]

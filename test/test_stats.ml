@@ -35,6 +35,33 @@ let test_median_percentile () =
   Tutil.check_float "p50 interpolates" 1.5
     (Stats.percentile [| 1.0; 2.0 |] ~p:50.0)
 
+let test_percentile_contract () =
+  (* Empty input marks the statistic unevaluable instead of crashing the
+     aggregation that asked for it. *)
+  Tutil.check_bool "empty is nan" true
+    (Float.is_nan (Stats.percentile [||] ~p:50.0));
+  Tutil.check_bool "empty median is nan" true (Float.is_nan (Stats.median [||]));
+  (* Out-of-range p is a caller bug and raises. *)
+  let invalid = Invalid_argument "Stats.percentile: p must be in [0, 100]" in
+  Alcotest.check_raises "negative p" invalid (fun () ->
+      ignore (Stats.percentile [| 1.0 |] ~p:(-0.5)));
+  Alcotest.check_raises "p above 100" invalid (fun () ->
+      ignore (Stats.percentile [| 1.0 |] ~p:100.5));
+  Alcotest.check_raises "nan p" invalid (fun () ->
+      ignore (Stats.percentile [| 1.0 |] ~p:Float.nan));
+  (* nans sort last, so low/mid percentiles of partially-nan data stay
+     meaningful instead of depending on the input order. *)
+  Tutil.check_float "nan sorts last (p0)" 1.0
+    (Stats.percentile [| Float.nan; 2.0; 1.0 |] ~p:0.0);
+  Tutil.check_float "nan sorts last (p50)" 2.0
+    (Stats.percentile [| Float.nan; 2.0; 1.0 |] ~p:50.0);
+  Tutil.check_float "median ignores order of nans" 2.0
+    (Stats.median [| 2.0; Float.nan; 1.0 |]);
+  Tutil.check_bool "p100 of partially-nan data is nan" true
+    (Float.is_nan (Stats.percentile [| Float.nan; 2.0; 1.0 |] ~p:100.0));
+  Tutil.check_bool "all-nan median is nan" true
+    (Float.is_nan (Stats.median [| Float.nan; Float.nan |]))
+
 let test_errors () =
   Tutil.check_float "relative error" 0.1
     (Stats.relative_error ~truth:10.0 ~estimate:9.0);
@@ -153,6 +180,21 @@ let prop_percentile_bounded =
       let hi = Array.fold_left Float.max neg_infinity xs in
       v >= lo -. 1e-9 && v <= hi +. 1e-9)
 
+let prop_percentile_total =
+  (* Total for every p in [0, 100] and arbitrary floats (the default
+     generator emits nan and infinities): never raises, and any finite
+     answer lies within the finite values' range. *)
+  QCheck.Test.make ~name:"percentile total on [0,100] x floats" ~count:500
+    QCheck.(pair (array float) (float_range 0.0 100.0))
+    (fun (xs, p) ->
+      let v = Stats.percentile xs ~p in
+      let finite = Array.of_seq (Seq.filter Float.is_finite (Array.to_seq xs)) in
+      if Float.is_nan v then true
+      else if Array.length finite = 0 then true (* +/-inf inputs *)
+      else
+        v >= Array.fold_left Float.min infinity finite -. 1e-9
+        || v = Float.infinity || v = Float.neg_infinity)
+
 let prop_mean_between_extremes =
   QCheck.Test.make ~name:"mean within min/max" ~count:200 float_array_gen
     (fun xs ->
@@ -192,6 +234,7 @@ let () =
           Tutil.quick "confidence interval" test_confidence_interval;
           Tutil.quick "geomean" test_geomean;
           Tutil.quick "median/percentile" test_median_percentile;
+          Tutil.quick "percentile contract" test_percentile_contract;
           Tutil.quick "error metrics" test_errors;
           Tutil.quick "kahan sum" test_sum_kahan;
           Tutil.quick "normalize" test_normalize;
@@ -199,6 +242,7 @@ let () =
       ( "properties",
         [ Tutil.qcheck_case prop_normalize_sums_to_one;
           Tutil.qcheck_case prop_percentile_bounded;
+          Tutil.qcheck_case prop_percentile_total;
           Tutil.qcheck_case prop_mean_between_extremes;
           Tutil.qcheck_case prop_relative_error_total;
           Tutil.qcheck_case prop_sq_distance_symmetric ] ) ]
