@@ -33,6 +33,7 @@ module Experiment = Cbsp_report.Experiment
 module Figures = Cbsp_report.Figures
 module Rng = Cbsp_util.Rng
 module Diskcache = Cbsp_engine.Diskcache
+module Locality = Cbsp_analysis.Locality
 module Verrors = Cbsp_validate.Errors
 module Vtruth = Cbsp_validate.Truth
 module Vmatrix = Cbsp_validate.Matrix
@@ -107,7 +108,8 @@ let projection_rows =
    The ivl/* and projection/project_into kernels are new with the
    streaming-profile refactor; the store/* kernels are new with the
    sharded persistent artifact cache; validate/matrix_smoke is new with
-   the accuracy-gated validation harness.  Their baselines are the first
+   the accuracy-gated validation harness; locality/analyze_registry is
+   new with the static locality analyzer.  Their baselines are the first
    recorded measurements (same container, same quota), so their
    trajectory starts at 1.0x by construction and any later change is
    relative to that. *)
@@ -121,7 +123,8 @@ let seed_baseline_ns =
     ("ivl/decode_64x400", 360_872.0);
     ("store/persist_roundtrip", 4_243_560.0);
     ("store/warm_lookup", 2_072_520.0);
-    ("validate/matrix_smoke", 6_936_000.0) ]
+    ("validate/matrix_smoke", 6_936_000.0);
+    ("locality/analyze_registry", 1_210_000.0) ]
 
 (* Codec fixture: a 64-interval profile with 400-block, two-thirds-sparse
    BBVs and four extra counters — instruction-weighted counts, so mostly
@@ -195,6 +198,19 @@ let store_cache =
 
 let store_payload =
   Marshal.to_string (Array.init 12_000 (fun i -> float_of_int i *. 1.5)) []
+
+(* Static-locality fixture: one optimized 32-bit binary per registry
+   workload, compiled once outside the timed region.  The kernel is the
+   whole-registry analysis sweep `cbsp lint` pays per scale — pure
+   abstract interpretation, no execution. *)
+let locality_binaries =
+  lazy
+    (List.map
+       (fun (e : Cbsp_workloads.Registry.entry) ->
+         Lower.compile
+           (e.Cbsp_workloads.Registry.build ())
+           (Config.v Cbsp_compiler.Isa.X86_32 Config.O2))
+       Cbsp_workloads.Registry.all)
 
 let store_warm_key = "bench-warm-entry"
 
@@ -318,6 +334,15 @@ let kernel_specs =
         let insts, cycles, strata, proxy = sampling_population in
         Sampler.stratified ~rng:(Rng.create ~seed:31) ~n:64 ~strata ~proxy
           ~insts ~cycles ());
+    (* static locality: analyze all 21 registry binaries at scale 10 —
+       the per-scale cost of `cbsp lint`'s bracket section and the
+       strat-static label pass *)
+    kernel "locality/analyze_registry"
+      ~baseline:(List.assoc "locality/analyze_registry" seed_baseline_ns)
+      (fun () ->
+        List.map
+          (fun b -> Locality.analyze b ~scale:10)
+          (Lazy.force locality_binaries));
     (* validation harness: one full-shape matrix (21 workloads x 7
        methods x 4 binaries + 4 pairs) scored, ranked and serialized as
        cbsp-validate/1 — the post-pipeline overhead `cbsp validate` adds *)

@@ -1,0 +1,108 @@
+(** Static locality analysis: footprints, stride/dependence classes,
+    reuse-distance bounds, and a provable CPI bracket.
+
+    An abstract-interpretation pass over the lowered IR (reusing the
+    {!Poly}/{!Sym} execution-count domain of {!Absint}) that derives,
+    without running the program:
+
+    - per-loop-nest {b regions} with symbolic instruction and access
+      counts, a touched-{b footprint} upper bound, a dominant
+      stride/dependence {b class} (unit-stride streaming, pointer-chasing
+      dependent chains, stack-local spill traffic, ...), and the cache
+      level the footprint predicts the region's accesses dominantly hit;
+    - a program-level CPI interval [[lc_cpi_lo, lc_cpi_hi]] that
+      {b provably brackets} the CPI the {!Cbsp_cache.Cpu} model measures
+      on a cold-cache run of the same binary at the same scale.
+
+    The bracket rests on two facts about the backend, both machine-checked
+    by the differential and property tests:
+
+    {b Lower bound} (cold-miss floor).  Caches start cold, and an access
+    whose line granule was never touched before misses every level and
+    costs exactly the DRAM latency.  Arrays the program provably sweeps
+    with unit stride (every [Seq] site has stride 1 and the guaranteed
+    total count reaches the length — the registry's [init_data] shape)
+    touch every granule of their span, so
+
+    [stall >= lat_min * A_lo + (dram - lat_min) * D_lo]
+
+    with [A_lo] the access-count lower bound and [D_lo] the swept
+    granules.  [CPI >= 1 + stall_lo / I_hi].
+
+    {b Upper bound} (conflict-free fit level).  Consecutive lines map
+    round-robin over a level's sets, so a contiguous region spanning [L]
+    lines puts at most [ceil (L / sets)] lines in any one set.  If the
+    touched spans (every possibly-accessed array, plus the spill stack)
+    together fit — sum of [ceil (L_r / sets)] at most the associativity —
+    then the level never evicts, every line misses it at most once, and
+    every access beyond those first touches costs at most the slowest
+    latency at or above the fit level.  [CPI <= 1 + stall_hi / I_lo]
+    (infinite when no level fits nothing is provable about [I_lo = 0]).
+
+    Per-region intervals use the coarse per-access form
+    [[1 + lat_min * apb_lo, 1 + cost_max * apb_hi]] — sound for
+    region-attributed cycles but not gated, since regions share the
+    caches.
+
+    Bumps [locality.runs] / [locality.regions] / [locality.dram_bound] /
+    [locality.chase] metrics per analysis. *)
+
+type klass =
+  | Compute        (** No memory accesses at this scale. *)
+  | Streaming      (** Dominated by unit/fixed-stride [Seq] traffic. *)
+  | Random         (** Dominated by [Rand]/[Hot] array traffic. *)
+  | Pointer_chase  (** Dominated by dependent [Chase] walks. *)
+  | Stack_local    (** Dominated by spill (stack frame) traffic. *)
+  | Mixed          (** No class reaches half of the access bound. *)
+
+val klass_name : klass -> string
+
+type region = {
+  rg_proc : string;          (** Procedure owning the region. *)
+  rg_line : int option;      (** Top-level loop source line; [None] for
+                                 the straight-line remainder. *)
+  rg_klass : klass;
+  rg_insts : int * int;      (** Instruction-count bounds at the scale. *)
+  rg_accesses : int * int;   (** Access-count bounds (spills included). *)
+  rg_footprint : int;        (** Bytes touched, upper bound at the scale. *)
+  rg_hit_level : string;     (** Smallest level whose capacity holds the
+                                 footprint, or ["DRAM"]. *)
+  rg_cpi_lo : float;
+  rg_cpi_hi : float;         (** [infinity] when the instruction lower
+                                 bound is 0 but accesses are possible. *)
+}
+
+type report = {
+  lc_workload : string;
+  lc_scale : int;
+  lc_config : Cbsp_cache.Hierarchy.config;
+  lc_regions : region list;  (** Stable order: procs in symbol order,
+                                 regions in body order, remainder last. *)
+  lc_insts : int * int;      (** Program instruction bounds at the scale. *)
+  lc_accesses : int * int;   (** Program access bounds at the scale. *)
+  lc_cold_granules : int;    (** Provably cold-missed line granules
+                                 ([D_lo] of the lower bound). *)
+  lc_touched_bytes : int;    (** Upper bound on all touched bytes (arrays
+                                 possibly accessed + spill stack span). *)
+  lc_fit_level : string option;
+      (** First level proved conflict-free for the whole touched set, if
+          any — the upper bound's hit level. *)
+  lc_cpi_lo : float;
+  lc_cpi_hi : float;
+}
+
+val analyze :
+  ?config:Cbsp_cache.Hierarchy.config ->
+  Cbsp_compiler.Binary.t ->
+  scale:int ->
+  report
+(** Analyze one binary at one input scale against the given hierarchy
+    geometry (default {!Cbsp_cache.Hierarchy.paper_table1}).  Pure and
+    deterministic.  The soundness contract: for any seed, a cold
+    {!Cbsp_cache.Cpu} observing a full run of this binary at this scale
+    measures a CPI inside [[lc_cpi_lo, lc_cpi_hi]] (whenever at least one
+    instruction executes). *)
+
+val pp_region : Format.formatter -> region -> unit
+
+val pp_report : Format.formatter -> report -> unit

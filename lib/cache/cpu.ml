@@ -25,8 +25,10 @@ let cycles t = t.t_cycles
 let insts t = t.t_insts
 
 let cpi t =
-  if t.t_insts = 0 then invalid_arg "Cpu.cpi: no instructions executed";
-  t.t_cycles /. float_of_int t.t_insts
+  (* Total: nan before any instruction, so callers can feed the result
+     straight into Stats.relative_error / Stats.percentile, whose
+     contracts are nan-propagating rather than exception-raising. *)
+  if t.t_insts = 0 then nan else t.t_cycles /. float_of_int t.t_insts
 
 let hierarchy t = t.hier
 

@@ -23,7 +23,11 @@ val cycles : t -> float
 val insts : t -> int
 
 val cpi : t -> float
-(** @raise Invalid_argument before any instruction has executed. *)
+(** Total function: [nan] before any instruction has executed (never
+    raises), matching the nan-propagating contracts of
+    [Stats.relative_error]/[Stats.percentile] so a zero-instruction run
+    flows through error pipelines as "no data" instead of an
+    exception. *)
 
 val hierarchy : t -> Hierarchy.t
 

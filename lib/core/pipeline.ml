@@ -19,6 +19,8 @@ module Strata = Cbsp_sampling.Strata
 module Tracer = Cbsp_obs.Tracer
 module Prover = Cbsp_analysis.Prover
 module Fingerprint = Cbsp_analysis.Fingerprint
+module Locality = Cbsp_analysis.Locality
+module Hierarchy = Cbsp_cache.Hierarchy
 
 type truth = { t_insts : int; t_cycles : float; t_cpi : float }
 
@@ -87,7 +89,8 @@ type sampling_result = {
   smp_seeds : int list;
 }
 
-let sampling_methods = [ "srs"; "systematic"; "strat-phase"; "strat-mix" ]
+let sampling_methods =
+  [ "srs"; "systematic"; "strat-phase"; "strat-mix"; "strat-static" ]
 
 (* One (method, binary) estimate in a shape shared by every pipeline
    flavor, so the validation harness can fold FLI, VLI and sampling
@@ -877,6 +880,26 @@ let run_sampling_uncached ~sp_config ~cache_config ~eng ~level ~seeds program
         let mix_strata =
           Strata.quantile_bins ~bins:(max 2 (min 8 (n / 2))) mix
         in
+        (* Static-locality stratification: per-interval dominant locality
+           class from the binary's block-level access patterns and the
+           hierarchy's LLC capacity — the one stratification that needs
+           no clustering pass and no quantile computation. *)
+        let static_strata =
+          let llc_bytes =
+            let cfg =
+              match cache_config with
+              | Some c -> c
+              | None -> Hierarchy.paper_table1
+            in
+            match List.rev cfg.Hierarchy.levels with
+            | (last : Hierarchy.level_config) :: _ -> last.Hierarchy.lv_capacity
+            | [] -> 0
+          in
+          Strata.static_locality binary ~llc_bytes
+            ~bbvs:
+              (Array.map (fun (iv : Interval.interval) -> iv.Interval.bbv)
+                 intervals)
+        in
         let run_method mi m seed =
           (* One independent stream per (binary, method, seed): sampling
              decisions never interact across methods or configurations. *)
@@ -894,6 +917,9 @@ let run_sampling_uncached ~sp_config ~cache_config ~eng ~level ~seeds program
             | "strat-mix" ->
               Sampler.stratified ~level ~name:"strat-mix" ~proxy:mix ~rng ~n
                 ~strata:mix_strata ~insts ~cycles ()
+            | "strat-static" ->
+              Sampler.stratified ~level ~name:"strat-static" ~proxy:mix ~rng
+                ~n ~strata:static_strata ~insts ~cycles ()
             | other ->
               invalid_arg ("Pipeline.run_sampling: unknown method " ^ other)
           in
@@ -944,7 +970,7 @@ let run_sampling ?(sp_config = Simpoint.default_config) ?cache_config ?engine
        matrix (which is mostly sampling passes) is served from disk. *)
     let key =
       Store.digest
-        ( "sampling/1", program, configs, input, target, sp_config,
+        ( "sampling/2", program, configs, input, target, sp_config,
           cache_config, level, seeds, n )
     in
     Store.find_or_compute rc.rc_sampling ~key go
@@ -966,6 +992,28 @@ let sampling_speedup result ~a ~b ~method_ ~seed =
   let ea, ia = pick a in
   let eb, ib = pick b in
   Sampler.speedup ~a:ea ~insts_a:ia ~b:eb ~insts_b:ib
+
+let run_locality ?cache_config ?engine program ~configs ~input =
+  if configs = [] then invalid_arg "Pipeline.run_locality: no configs";
+  let eng = match engine with Some e -> e | None -> create_engine () in
+  (* Purely static: one compile (memoized) plus one abstract-interpretation
+     pass per configuration, no executor run.  Timed under its own stage so
+     the report shows how cheap the bracket is next to a profiling pass. *)
+  List.map
+    (fun (config : Config.t) ->
+      let binary = compile eng program config in
+      let report =
+        Timing.time eng.eng_timing ~stage:Stage.Locality
+          ~label:(job_label program config ~kind:"locality")
+          ~in_size:binary.Binary.n_blocks
+          ~out_size:(fun (r : Locality.report) ->
+            List.length r.Locality.lc_regions)
+          (fun () ->
+            Locality.analyze ?config:cache_config binary
+              ~scale:input.Cbsp_source.Input.scale)
+      in
+      (config, report))
+    configs
 
 let replay ?cache_config (binary : Binary.t) ~input points =
   let cpu = Cpu.create ?config:cache_config () in

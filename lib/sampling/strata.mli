@@ -9,7 +9,10 @@
       (the pipeline passes its [cl_phase_of] array straight through);
     - {b instruction-mix quantiles} — bin intervals by their
       memory-access mix ({!access_mix}), a static-rate-weighted BBV
-      reduction that needs no cache model. *)
+      reduction that needs no cache model;
+    - {b static locality classes} — label intervals by the dominant
+      stride/dependence class of their traffic ({!static_locality}),
+      derived from the binary's access patterns and array spans alone. *)
 
 val quantile_bins : bins:int -> float array -> int array
 (** [quantile_bins ~bins feature] labels each element with its quantile
@@ -27,6 +30,28 @@ val access_mix :
     costs one array product per interval, no simulation.  Intervals with
     an all-zero BBV get mix 0.
     @raise Invalid_argument if a BBV's dimension is not [n_blocks]. *)
+
+val n_locality_classes : int
+(** Size of {!static_locality}'s label space (6). *)
+
+val static_locality :
+  Cbsp_compiler.Binary.t ->
+  llc_bytes:int ->
+  bbvs:float array array ->
+  int array
+(** Per-interval dominant-locality-class labels in
+    [0, n_locality_classes): 0 = no weighted traffic (compute), 1 =
+    LLC-resident regular (unit/fixed-stride [Seq] arrays fitting in
+    [llc_bytes], plus stack spills), 2 = DRAM-bound regular, 3 =
+    LLC-resident irregular ([Rand]/[Hot]), 4 = DRAM-bound irregular, 5 =
+    dependent pointer chase.  Each interval gets the class with the
+    largest BBV-weighted accesses-per-instruction mass.  Unlike
+    {!quantile_bins} over {!access_mix}, the label space is fixed by the
+    binary and the hierarchy geometry — no per-population quantile or
+    clustering pass — so it is the "profile-free" stratification of the
+    static locality analyzer.
+    @raise Invalid_argument if a BBV's dimension is not [n_blocks] or
+    [llc_bytes < 0]. *)
 
 val allocate :
   scores:float array -> sizes:int array -> total:int -> int array

@@ -25,11 +25,13 @@ val default_options : options
     level 0.95, n 64, seeds [2007; 2008; 2009]. *)
 
 val methods : string list
-(** The eight scored methods:
+(** The nine scored methods:
     [["fli"; "vli"; "vli-static"; "vli-recovered"]] followed by
     {!Cbsp.Pipeline.sampling_methods}.  ["vli-recovered"] is the static
     VLI with {!Cbsp_analysis.Fingerprint} semantic recovery of
-    split-lost markers ([Pipeline.run_vli ~static:true ~semantic:true]). *)
+    split-lost markers ([Pipeline.run_vli ~static:true ~semantic:true]);
+    ["strat-static"] is stratified sampling over the locality analyzer's
+    profile-free strata ({!Cbsp_sampling.Strata.static_locality}). *)
 
 val pairs : (string * string) list
 (** The paper's four speedup pairs: same-platform (32u->32o, 64u->64o)

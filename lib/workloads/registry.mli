@@ -20,6 +20,16 @@ val all : entry list
     wupwise. *)
 
 val names : string list
+(** Names of {!all} — the paper suite only. *)
+
+val micro : entry list
+(** Locality-extreme microkernels (stream-local / stream-heap /
+    chase-local / chase-heap): a unit-stride streaming sweep and a
+    dependent pointer walk, each L1-resident and larger-than-LLC.  Not
+    part of {!all} — the paper's figures and the suite-pinning tests see
+    exactly the 21 programs — but {!find} resolves them, so the locality
+    analyzer's tests and [cbsp locality] can exercise the extremes. *)
 
 val find : string -> entry
-(** @raise Not_found for unknown names. *)
+(** Looks up {!all} then {!micro}.
+    @raise Not_found for unknown names. *)

@@ -1,0 +1,77 @@
+(* Locality-extreme microkernels: a unit-stride streaming sweep and a
+   dependent pointer walk (random-permutation chase), each in a local
+   (L1-resident) and a heap (larger-than-LLC) variant.  They pin down the
+   corners of the static locality analyzer's class/footprint space — the
+   shapes where the analyzer and the cache model are forced to agree or
+   the bracket breaks: a resident kernel must fit its conflict-free
+   level, a heap kernel must pay the cold-miss floor on every granule.
+
+   They live in {!Registry.micro}, outside the paper's 21-program suite,
+   so the figures and the suite-pinning tests are untouched. *)
+
+module B = Cbsp_source.Builder
+module Ast = Cbsp_source.Ast
+
+(* 512 x 8B = 4 KiB: comfortably inside the 32 KiB L1. *)
+let stream_local () =
+  let b = B.create ~name:"stream-local" in
+  let buf = B.data_array b ~name:"buf" ~elem_bytes:8 ~length:512 in
+  B.proc b ~name:"sweep"
+    [ B.loop b ~trips:(Ast.Fixed 16)
+        [ B.work b ~insts:40
+            ~accesses:[ B.seq ~arr:buf ~count:32 ~write_ratio:0.25 () ]
+            () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 40; per_scale = 40 })
+        [ B.call b "sweep" ] ];
+  B.finish b ~main:"main"
+
+(* 300k x 8B = 2.4 MB: more than twice the 1 MiB LLC, so steady-state
+   sweeps re-miss every line. *)
+let stream_heap () =
+  let b = B.create ~name:"stream-heap" in
+  let big = B.data_array b ~name:"big" ~elem_bytes:8 ~length:300_000 in
+  B.proc b ~name:"sweep"
+    [ B.loop b ~trips:(Ast.Fixed 300)
+        [ B.work b ~insts:40
+            ~accesses:[ B.seq ~arr:big ~count:32 ~write_ratio:0.25 () ]
+            () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 4; per_scale = 4 })
+        [ B.call b "sweep" ] ];
+  B.finish b ~main:"main"
+
+(* Dependent walk inside a 512-entry pointer ring (2/4 KiB by ISA):
+   every hop serializes on the previous load, but all of them hit L1. *)
+let chase_local () =
+  let b = B.create ~name:"chase-local" in
+  let ring = B.pointer_array b ~name:"ring" ~length:512 in
+  B.proc b ~name:"walk"
+    [ B.loop b ~trips:(Ast.Fixed 64)
+        [ B.work b ~insts:24 ~accesses:[ B.chase ~arr:ring ~count:4 () ] () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 40; per_scale = 40 })
+        [ B.call b "walk" ] ];
+  B.finish b ~main:"main"
+
+(* The same walk over a 600k-entry ring (2.4/4.8 MB by ISA): no level
+   holds it, so nearly every hop goes to DRAM — the worst CPI the model
+   can produce. *)
+let chase_heap () =
+  let b = B.create ~name:"chase-heap" in
+  let ring = B.pointer_array b ~name:"ring" ~length:600_000 in
+  B.proc b ~name:"walk"
+    [ B.loop b ~trips:(Ast.Fixed 400)
+        [ B.work b ~insts:24 ~accesses:[ B.chase ~arr:ring ~count:4 () ] () ] ];
+  Wk_common.add_init_proc b;
+  B.proc b ~name:"main"
+    [ B.call b "init_data";
+      B.loop b ~trips:(Ast.Scaled { base = 4; per_scale = 4 })
+        [ B.call b "walk" ] ];
+  B.finish b ~main:"main"

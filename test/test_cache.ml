@@ -185,6 +185,42 @@ let test_hierarchy_flush () =
   Tutil.check_int "dram counter reset" 0 (Hierarchy.dram_accesses h);
   Tutil.check_int "cold again" 250 (Hierarchy.access h ~addr:0 ~is_write:false)
 
+let one_level ~capacity ~assoc ~line =
+  { Hierarchy.levels =
+      [ { Hierarchy.lv_name = "L1"; lv_capacity = capacity; lv_assoc = assoc;
+          lv_line = line; lv_latency = 2; lv_replacement = Cache.Lru } ];
+    dram_latency = 100 }
+
+let test_hierarchy_direct_mapped () =
+  (* 512B 1-way with 64B lines = 8 sets: addresses one capacity apart
+     conflict in the same set, and with a single way the second fill
+     must evict the first even though 7 other sets sit empty. *)
+  let h = Hierarchy.create (one_level ~capacity:512 ~assoc:1 ~line:64) in
+  Tutil.check_int "cold" 100 (Hierarchy.access h ~addr:0 ~is_write:false);
+  Tutil.check_int "hit" 2 (Hierarchy.access h ~addr:0 ~is_write:false);
+  Tutil.check_int "conflicting line misses" 100
+    (Hierarchy.access h ~addr:512 ~is_write:false);
+  Tutil.check_int "original evicted" 100
+    (Hierarchy.access h ~addr:0 ~is_write:false);
+  Tutil.check_int "distinct set unaffected" 100
+    (Hierarchy.access h ~addr:64 ~is_write:false);
+  Tutil.check_int "distinct set then hits" 2
+    (Hierarchy.access h ~addr:64 ~is_write:false)
+
+let test_hierarchy_one_line_cache () =
+  (* capacity = one line: a single set with a single way.  Same-line
+     accesses hit; ANY other line evicts the sole resident line. *)
+  let h = Hierarchy.create (one_level ~capacity:64 ~assoc:1 ~line:64) in
+  Tutil.check_int "cold" 100 (Hierarchy.access h ~addr:0 ~is_write:false);
+  Tutil.check_int "same line hits" 2
+    (Hierarchy.access h ~addr:63 ~is_write:false);
+  Tutil.check_int "next line misses" 100
+    (Hierarchy.access h ~addr:64 ~is_write:false);
+  Tutil.check_int "and evicted the only line" 100
+    (Hierarchy.access h ~addr:0 ~is_write:false);
+  Tutil.check_int "one line's worth of state survives" 2
+    (Hierarchy.access h ~addr:32 ~is_write:false)
+
 let prop_stats_invariant =
   QCheck.Test.make ~name:"hits+misses=accesses under random traffic" ~count:50
     QCheck.(list_of_size (Gen.int_range 1 500) (int_range 0 100_000))
@@ -225,7 +261,9 @@ let () =
         [ Tutil.quick "paper table 1" test_paper_table1;
           Tutil.quick "latencies" test_hierarchy_latencies;
           Tutil.quick "L2 hit" test_hierarchy_l2_hit;
-          Tutil.quick "flush" test_hierarchy_flush ] );
+          Tutil.quick "flush" test_hierarchy_flush;
+          Tutil.quick "direct-mapped" test_hierarchy_direct_mapped;
+          Tutil.quick "one-line cache" test_hierarchy_one_line_cache ] );
       ( "properties",
         [ Tutil.qcheck_case prop_stats_invariant;
           Tutil.qcheck_case prop_second_access_hits ] ) ]

@@ -32,10 +32,64 @@ let test_memory_bound_cpi_higher () =
   Tutil.check_bool "random traffic pushes cpi well above 1" true (Cpu.cpi cpu > 1.3)
 
 let test_cpi_before_run () =
+  (* cpi is total: nan (not an exception) before any instruction, so it
+     can flow into Stats.relative_error / Stats.percentile unguarded. *)
   let cpu = Cpu.create () in
-  Alcotest.check_raises "no instructions yet"
-    (Invalid_argument "Cpu.cpi: no instructions executed") (fun () ->
-      ignore (Cpu.cpi cpu))
+  Tutil.check_bool "nan before any instruction" true
+    (Float.is_nan (Cpu.cpi cpu));
+  let program = Tutil.single_loop_program () in
+  let binary = Lower.compile program (Config.v Isa.X86_64 Config.O2) in
+  let (_ : Executor.totals) =
+    Executor.run binary Tutil.test_input (Cpu.observer cpu)
+  in
+  Tutil.check_bool "finite after a run" true (Float.is_finite (Cpu.cpi cpu));
+  Cpu.reset cpu;
+  Tutil.check_bool "nan again after reset" true (Float.is_nan (Cpu.cpi cpu))
+
+(* Totality over arbitrary observer event streams: cpi never raises, is
+   nan exactly while no instruction has retired, and is >= 1 otherwise
+   (base cycle per instruction plus non-negative stalls). *)
+let prop_cpi_total =
+  QCheck.Test.make ~name:"cpi total over arbitrary event streams" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 0 60)
+        (pair (int_range 0 50) (int_range 0 1_000_000)))
+    (fun events ->
+      let cpu = Cpu.create () in
+      let obs = Cpu.observer cpu in
+      List.iter
+        (fun (insts, addr) ->
+          obs.Executor.on_block 0 insts;
+          obs.Executor.on_access addr (addr mod 2 = 0))
+        events;
+      let cpi = Cpu.cpi cpu in
+      if Cpu.insts cpu = 0 then Float.is_nan cpi
+      else Float.is_finite cpi && cpi >= 1.0)
+
+let test_extra_counters_monotone () =
+  (* every extra counter is a monotone snapshot during a run *)
+  let program = Tutil.two_phase_program () in
+  let binary = Lower.compile program (Config.v Isa.X86_32 Config.O0) in
+  let cpu = Cpu.create () in
+  let last = ref (Cpu.extra_counters cpu) in
+  let watcher =
+    { Executor.null_observer with
+      Executor.on_block =
+        (fun _ _ ->
+          let now = Cpu.extra_counters cpu in
+          Array.iteri
+            (fun i v ->
+              if v < !last.(i) then
+                Alcotest.failf "counter %d went backwards" i)
+            now;
+          last := now) }
+  in
+  let (_ : Executor.totals) =
+    Executor.run binary Tutil.test_input
+      (Executor.compose [ watcher; Cpu.observer cpu ])
+  in
+  Tutil.check_bool "saw traffic" true
+    (Array.exists (fun v -> v > 0.0) (Cpu.extra_counters cpu))
 
 let test_reset () =
   let program = Tutil.single_loop_program () in
@@ -88,4 +142,6 @@ let () =
           Tutil.quick "cpi before run" test_cpi_before_run;
           Tutil.quick "reset" test_reset;
           Tutil.quick "custom config" test_custom_config;
-          Tutil.quick "cycles monotone" test_cycles_monotone ] ) ]
+          Tutil.quick "cycles monotone" test_cycles_monotone;
+          Tutil.quick "extra counters monotone" test_extra_counters_monotone;
+          Tutil.qcheck_case prop_cpi_total ] ) ]
